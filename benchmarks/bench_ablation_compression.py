@@ -1,0 +1,21 @@
+"""Ablation A2: GZIP message compression on vs off.
+
+Agent source and metadata compress well, so gzip trims wire time; the
+effect is modest because object payloads are incompressible random
+bytes.
+"""
+
+from benchmarks.support import PAPER, publish
+from repro.eval.ablations import ablation_compression
+
+
+def test_ablation_compression(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_compression(PAPER, node_count=15),
+        rounds=1,
+        iterations=1,
+    )
+    publish("ablation_compression", result)
+    gzip_total = sum(result.y_values("gzip"))
+    off_total = sum(result.y_values("off"))
+    assert gzip_total <= off_total * 1.02

@@ -1,0 +1,16 @@
+"""Ablation A6: replication factor vs response latency (future work)."""
+
+from benchmarks.support import PAPER, publish
+from repro.eval.ablations import ablation_replication
+
+
+def test_ablation_replication(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_replication(PAPER, node_count=16, factors=(1, 2, 4, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("ablation_replication", result)
+    first = result.y_values("first answer (s)")
+    # More replicas -> some copy sits nearer the base -> faster first hit.
+    assert first[-1] <= first[0]

@@ -1,0 +1,17 @@
+"""Ablation A4: result mode 1 (direct answers) vs mode 2 (metadata)."""
+
+from benchmarks.support import PAPER, publish
+from repro.eval.ablations import ablation_result_mode
+
+
+def test_ablation_result_mode(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_result_mode(PAPER, node_count=15),
+        rounds=1,
+        iterations=1,
+    )
+    publish("ablation_result_mode", result)
+    direct = sum(result.y_values("direct"))
+    metadata = sum(result.y_values("metadata"))
+    # Metadata answers skip the 1KB payloads, so they arrive no later.
+    assert metadata <= direct * 1.02

@@ -1,0 +1,26 @@
+"""Ablation A7: code- vs data-shipping amortization (future work)."""
+
+from benchmarks.support import PAPER, publish
+from repro.eval.ablations import ablation_shipping
+from repro.eval.analysis import crossover
+
+
+def test_ablation_shipping(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_shipping(PAPER, node_count=4, query_count=10),
+        rounds=1,
+        iterations=1,
+    )
+    publish("ablation_shipping", result)
+    code = result.y_values("always-code")
+    data = result.y_values("always-data")
+    adaptive = result.y_values("adaptive")
+    # Code-shipping is cheaper for the first query...
+    assert code[0] < data[0]
+    # ...but the mirror amortizes: data wins cumulatively by the end.
+    assert data[-1] < code[-1]
+    # Code starts below and crosses above data partway through.
+    crossing = crossover(result, "always-code", "always-data")
+    assert crossing is not None and crossing > 1
+    # Adaptive ends on the winning side of the trade.
+    assert adaptive[-1] <= code[-1]

@@ -1,0 +1,23 @@
+"""Ablation A1: reconfiguration strategies head to head.
+
+MaxCount and MinHops both collapse the completion time after the first
+run; random replacement helps only by luck; static never improves.
+"""
+
+from benchmarks.support import PAPER, publish
+from repro.eval.ablations import ablation_strategy
+
+
+def test_ablation_strategy(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_strategy(PAPER, node_count=16, holder_count=3),
+        rounds=1,
+        iterations=1,
+    )
+    publish("ablation_strategy", result)
+    maxcount = result.y_values("maxcount")
+    minhops = result.y_values("minhops")
+    static = result.y_values("static")
+    assert maxcount[-1] < static[-1]
+    assert minhops[-1] < static[-1]
+    assert maxcount[-1] < maxcount[0]

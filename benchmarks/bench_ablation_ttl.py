@@ -1,0 +1,18 @@
+"""Ablation A3: agent TTL — coverage vs completion on a 16-node line."""
+
+from benchmarks.support import PAPER, publish
+from repro.eval.ablations import ablation_ttl
+
+
+def test_ablation_ttl(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_ttl(PAPER, node_count=16, ttls=(2, 4, 8, 12, 16)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("ablation_ttl", result)
+    responders = result.y_values("responders")
+    completion = result.y_values("completion (s)")
+    assert responders == sorted(responders)
+    assert responders[-1] == 15  # full coverage at ttl >= 15
+    assert completion[0] < completion[-1]

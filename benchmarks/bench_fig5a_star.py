@@ -1,0 +1,31 @@
+"""Figure 5(a): Star topology — completion time vs. network size.
+
+Paper shape: SCS grows steeply (its client serializes conversations);
+MCS is slightly ahead of BPS/BPR (no code-shipping overhead, nothing to
+relay on a star); BPS and BPR coincide (a star leaves nothing to
+reconfigure).
+"""
+
+from benchmarks.support import PAPER, publish
+from repro.eval.figures import figure_5a
+
+
+def test_figure_5a_star(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_5a(PAPER, sizes=(1, 2, 4, 8, 16, 24, 32)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure_5a", result)
+    scs = result.y_values("SCS")
+    mcs = result.y_values("CS")
+    bps = result.y_values("BPS")
+    bpr = result.y_values("BPR")
+    # SCS degenerates with network size; the rest stay parallel.
+    assert scs[-1] > 5 * mcs[-1]
+    # MCS vs BPS/BPR: "the gain is not significant enough to be visible".
+    for m, b in zip(mcs, bps):
+        assert abs(m - b) <= 0.15 * max(m, b)
+    # Nothing to reconfigure: BPS == BPR on every size.
+    for left, right in zip(bps, bpr):
+        assert abs(left - right) <= 0.05 * max(left, right, 1e-9)

@@ -1,0 +1,26 @@
+"""Figure 5(b): Tree topology — completion time vs. tree level.
+
+Paper shape: CS wins at level 1 (all peers directly connected; a plain
+query beats shipping an agent) but degenerates as depth grows, because
+results must be relayed along the return path; BPR <= BPS throughout.
+"""
+
+from benchmarks.support import PAPER, publish
+from repro.eval.figures import figure_5b
+
+
+def test_figure_5b_tree(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_5b(PAPER, levels=(1, 2, 3, 4, 5)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure_5b", result)
+    cs = result.y_values("CS")
+    bps = result.y_values("BPS")
+    bpr = result.y_values("BPR")
+    assert cs[0] < bps[0]  # level 1: CS superior
+    assert cs[-1] > bps[-1]  # level 5: CS degenerated
+    assert all(c <= n for c, n in zip(cs, cs[1:]))  # CS monotone worse
+    for left, right in zip(bpr, bps):
+        assert left <= right * 1.02  # BPR never worse than BPS

@@ -1,0 +1,24 @@
+"""Figure 5(c): Line topology — completion time vs. network size.
+
+Paper shape: same relative ordering as the tree — BPR best, and BPR
+outperforms CS except at very small network sizes.
+"""
+
+from benchmarks.support import PAPER, publish
+from repro.eval.figures import figure_5c
+
+
+def test_figure_5c_line(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_5c(PAPER, sizes=(2, 4, 8, 16, 24, 32)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure_5c", result)
+    cs = result.y_values("CS")
+    bps = result.y_values("BPS")
+    bpr = result.y_values("BPR")
+    assert cs[0] < bpr[0]  # n=2: CS fine when the chain is trivial
+    assert cs[-1] > bpr[-1]  # n=32: the chain kills CS
+    for left, right in zip(bpr, bps):
+        assert left <= right * 1.02  # BPR is the best scheme

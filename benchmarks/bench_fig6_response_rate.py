@@ -1,0 +1,22 @@
+"""Figure 6: rate at which answers are returned (32-node tree).
+
+Paper shape: BPR reaches any responder count fastest; CS is competitive
+for the first few nodes but returns the rest much more slowly because
+answers travel back along the query path.
+"""
+
+from benchmarks.support import publish, shared_figures_6_and_7
+
+
+def test_figure_6_response_rate(benchmark):
+    rate, _ = benchmark.pedantic(shared_figures_6_and_7, rounds=1, iterations=1)
+    publish("figure_6", rate)
+    bpr = rate.y_values("BPR")
+    bps = rate.y_values("BPS")
+    cs = rate.y_values("CS")
+    # BPR completes the full responder set no later than BPS, which in
+    # turn beats CS by a wide margin at the tail.
+    assert bpr[-1] <= bps[-1] * 1.02
+    assert cs[-1] > bps[-1]
+    # CS's early responses are fast: its first response beats BPS's.
+    assert cs[0] <= bps[0]

@@ -1,0 +1,22 @@
+"""Figure 7: cumulative number of answers over time (32-node tree).
+
+Paper shape: CS returns the first answers fastest, but BPS/BPR overtake
+as answers accumulate; BPR is generally ahead of BPS.
+"""
+
+from benchmarks.support import publish, shared_figures_6_and_7
+
+
+def test_figure_7_answer_quantity(benchmark):
+    _, quantity = benchmark.pedantic(shared_figures_6_and_7, rounds=1, iterations=1)
+    publish("figure_7", quantity)
+    cs = quantity.series_named("CS")
+    bps = quantity.series_named("BPS")
+    bpr = quantity.series_named("BPR")
+    # All schemes return every answer eventually.
+    assert cs[-1][1] == bps[-1][1] == bpr[-1][1]
+    # CS's first answer arrives earliest...
+    assert cs[0][0] <= bps[0][0]
+    # ...but its last answer arrives latest (the relay tail).
+    assert cs[-1][0] > bps[-1][0]
+    assert bpr[-1][0] <= bps[-1][0] * 1.02

@@ -1,0 +1,25 @@
+"""Figure 8(b): BestPeer vs Gnutella — effect of the number of peers.
+
+Paper shape: both improve as nodes keep more direct peers (shorter
+floods), but BP remains superior at every peer count.
+"""
+
+from benchmarks.support import PAPER, publish
+from repro.eval.figures import figure_8b
+
+
+def test_figure_8b_gnutella_peers(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure_8b(PAPER, node_count=32, peer_counts=(2, 4, 6, 8)),
+        rounds=1,
+        iterations=1,
+    )
+    publish("figure_8b", result)
+    bp = result.y_values("BP")
+    gnutella = result.y_values("Gnutella")
+    # More peers help both schemes.
+    assert bp[-1] < bp[0]
+    assert gnutella[-1] < gnutella[0]
+    # BP remains superior throughout the sweep.
+    for left, right in zip(bp, gnutella):
+        assert left < right

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the substrate itself (real wall-clock time).
+
+Unlike the figure benches (single-shot simulated experiments), these are
+classic multi-round pytest-benchmark measurements of the library's hot
+paths: StorM inserts and searches, B+-tree inserts, buffer hits, and
+simulator event throughput.
+"""
+
+from repro.sim import Simulator
+from repro.storm import StorM
+from repro.storm.btree import BPlusTree
+from repro.storm.buffer import BufferManager
+from repro.storm.disk import InMemoryDisk
+from repro.workloads import generate_objects
+
+
+def test_storm_put_throughput(benchmark):
+    objects = generate_objects(0, count=200, size=1024)
+
+    def insert_batch():
+        store = StorM()
+        for spec in objects:
+            store.put(spec.keywords, spec.payload)
+        return store.count
+
+    assert benchmark(insert_batch) == 200
+
+
+def test_storm_search_scan(benchmark):
+    store = StorM()
+    for spec in generate_objects(0, count=1000, size=1024):
+        store.put(spec.keywords, spec.payload)
+    keyword = generate_objects(0, count=1, size=64)[0].keywords[0]
+
+    result = benchmark(lambda: store.search_scan(keyword))
+    assert result.objects_examined == 1000
+
+
+def test_storm_indexed_search(benchmark):
+    store = StorM()
+    for spec in generate_objects(0, count=1000, size=1024):
+        store.put(spec.keywords, spec.payload)
+    keyword = generate_objects(0, count=1, size=64)[0].keywords[0]
+
+    result = benchmark(lambda: store.search(keyword))
+    assert result.match_count == 10
+
+
+def test_btree_insert_throughput(benchmark):
+    entries = [f"entry-{i:06d}".encode() for i in range(500)]
+
+    def build_tree():
+        tree = BPlusTree(BufferManager(InMemoryDisk(page_size=512), pool_size=64))
+        for entry in entries:
+            tree.insert(entry)
+        return tree.entry_count
+
+    assert benchmark(build_tree) == 500
+
+
+def test_buffer_hit_path(benchmark):
+    buffer = BufferManager(InMemoryDisk(page_size=4096), pool_size=8)
+    page_id, _ = buffer.new_page()
+    buffer.unpin(page_id)
+
+    def hot_pin_unpin():
+        for _ in range(1000):
+            buffer.pin(page_id)
+            buffer.unpin(page_id)
+
+    benchmark(hot_pin_unpin)
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 5000:
+                sim.schedule(0.001, tick)
+
+        sim.schedule(0.001, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_events) == 5000

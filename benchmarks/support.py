@@ -1,0 +1,39 @@
+"""Shared benchmark scaffolding.
+
+Every bench runs its figure at the paper's scale (1000 x 1KB objects per
+node, queries issued four times), prints the reproduced series, and
+saves them under ``benchmarks/results/`` so EXPERIMENTS.md can be
+regenerated from a benchmark run.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+
+from repro.eval.experiment import FigureResult
+from repro.eval.figures import FigureParams, figures_6_and_7
+from repro.eval.report import format_figure
+
+#: Paper-scale parameters shared by all figure benchmarks.
+PAPER = FigureParams(objects_per_node=1000, object_size=1024, queries=4)
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def publish(name: str, result: FigureResult) -> FigureResult:
+    """Print a reproduced figure and persist it for EXPERIMENTS.md."""
+    text = format_figure(result)
+    print()
+    print(text)
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")
+    return result
+
+
+@functools.lru_cache(maxsize=1)
+def shared_figures_6_and_7() -> tuple[FigureResult, FigureResult]:
+    """Figures 6 and 7 share one set of runs; compute them once."""
+    return figures_6_and_7(PAPER, node_count=32)

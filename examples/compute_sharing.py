@@ -1,0 +1,125 @@
+"""Computational power sharing: ship the algorithm to the data.
+
+Section 3.2.3: "The requester sends his/her request for a file together
+with an algorithm (executable code) that operates on the file.  In other
+words, the requester performs the filtering task at the provider's end!"
+
+Here each peer holds a year of daily "stock tick" records (as raw CSV
+bytes).  Instead of downloading megabytes of ticks, the requester ships
+a small aggregation agent that computes per-symbol statistics at every
+provider and returns a few numbers.  A second, itinerary-mode agent then
+tours the same peers sequentially (the *traditional* mobile-agent style
+the paper contrasts with its flooding) and accumulates a global summary
+in its own state.
+
+Run:  python examples/compute_sharing.py
+"""
+
+import random
+
+from repro import Agent, BestPeerConfig, build_network, star
+from repro.agents.envelope import MODE_ITINERARY
+
+
+class TickStatsAgent(Agent):
+    """Compute min/max/mean close price for one symbol, at the data."""
+
+    def __init__(self, symbol: str):
+        self.symbol = symbol
+
+    def execute(self, context):
+        from repro.agents.messages import AnswerItem
+
+        result = context.storm.search_scan(self.symbol)
+        context.charge_search(result)
+        closes = []
+        for _rid, obj in result.matches:
+            for tick_line in obj.payload.splitlines():
+                _day, close = tick_line.split(b",")
+                closes.append(float(close))
+        if not closes:
+            return
+        summary = (
+            f"{self.symbol} n={len(closes)} min={min(closes):.2f} "
+            f"max={max(closes):.2f} mean={sum(closes) / len(closes):.2f}"
+        )
+        (rid, obj) = result.matches[0]
+        context.reply(
+            [AnswerItem(rid=rid, keywords=obj.keywords, size=len(summary),
+                        payload=summary.encode())]
+        )
+
+
+class PortfolioTourAgent(Agent):
+    """Traditional itinerary agent: visit peers in order, accumulate."""
+
+    def __init__(self, symbol: str):
+        self.symbol = symbol
+        self.total_ticks = 0
+        self.sites_visited = 0
+
+    def execute(self, context):
+        result = context.storm.search_scan(self.symbol)
+        context.charge_search(result)
+        for _rid, obj in result.matches:
+            self.total_ticks += len(obj.payload.splitlines())
+        self.sites_visited += 1
+
+
+def make_ticks(rng: random.Random, days: int = 250) -> bytes:
+    price = 100.0
+    lines = []
+    for day in range(days):
+        price = max(1.0, price * (1.0 + rng.uniform(-0.03, 0.03)))
+        lines.append(f"{day},{price:.2f}".encode())
+    return b"\n".join(lines)
+
+
+def main() -> None:
+    net = build_network(5, config=BestPeerConfig(), topology=star(5))
+    rng = random.Random(7)
+    for index, node in enumerate(net.nodes[1:], start=1):
+        for symbol in ("ACME", "GLOBEX"):
+            node.share([symbol, "ticks"], make_ticks(rng))
+    tick_bytes = sum(
+        obj.size for node in net.nodes[1:] for _rid, obj in node.storm.scan()
+    )
+
+    # ------------------------------------------------------------------
+    # Flood a stats agent: every provider aggregates locally in parallel.
+    # ------------------------------------------------------------------
+    from repro.agents.engine import PROTO_ANSWER
+
+    answers = []
+    net.base.host.unbind(PROTO_ANSWER)
+    net.base.host.bind(PROTO_ANSWER, lambda pkt: answers.append(pkt.payload))
+    net.base.dispatch_agent(TickStatsAgent("ACME"))
+    net.sim.run()
+
+    print("Per-provider ACME statistics (computed at the providers):")
+    moved = 0
+    for answer in answers:
+        for item in answer.items:
+            print(f"  {answer.responder}: {item.payload.decode()}")
+            moved += len(item.payload)
+    print(f"\nRaw tick data at providers: {tick_bytes:,} bytes")
+    print(f"Bytes returned to requester: {moved:,} bytes "
+          f"({moved / tick_bytes:.2%} of the data)")
+
+    # ------------------------------------------------------------------
+    # Itinerary tour: one agent, sequential visits, state accumulates.
+    # ------------------------------------------------------------------
+    tours = []
+    net.base.engine.on_agent_home = lambda agent_id, state: tours.append(state)
+    path = [node.host.address for node in net.nodes[1:]]
+    net.base.dispatch_agent(
+        PortfolioTourAgent("GLOBEX"), mode=MODE_ITINERARY, path=path
+    )
+    net.sim.run()
+    (state,) = tours
+    print(f"\nItinerary agent visited {state['sites_visited']} sites and "
+          f"counted {state['total_ticks']} GLOBEX ticks in total.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,58 @@
+"""Quickstart: build a BestPeer network, search it, watch it reconfigure.
+
+Builds an 8-node line overlay (the worst case for a static network),
+places music metadata at the two far ends, issues the same query twice,
+and shows how MaxCount reconfiguration pulls the answer-bearing nodes
+into the base's direct-peer set — cutting the completion time.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import BestPeerConfig, build_network, line
+
+
+def main() -> None:
+    config = BestPeerConfig(max_direct_peers=4, strategy="maxcount")
+    net = build_network(8, config=config, topology=line(8))
+    base = net.base
+
+    # Publish sharable objects.  The far nodes hold what we want.
+    net.nodes[6].share(["jazz", "coltrane"], b"Giant Steps (1960)")
+    net.nodes[6].share(["jazz", "coltrane"], b"A Love Supreme (1965)")
+    net.nodes[7].share(["jazz", "davis"], b"Kind of Blue (1959)")
+    for i in range(1, 6):
+        net.nodes[i].share(["rock"], f"filler-{i}".encode())
+
+    print("Direct peers of the base before the first query:")
+    for peer in base.peers.entries():
+        print(f"  {peer.bpid} @ {peer.address}")
+
+    # --- first query: the agent floods the whole line -----------------
+    handle = base.issue_query("jazz")
+    net.sim.run()
+    print(f"\nQuery 1: {handle.network_answer_count} answers "
+          f"from {len(handle.responders)} nodes "
+          f"in {handle.completion_time:.4f}s (simulated)")
+    for answer in handle.answers:
+        titles = ", ".join(item.payload.decode() for item in answer.items)
+        print(f"  {answer.responder} (hops={answer.hops}): {titles}")
+
+    # Closing the query triggers MaxCount reconfiguration.
+    base.finish_query(handle)
+    print("\nDirect peers of the base after reconfiguration:")
+    for peer in base.peers.entries():
+        print(f"  {peer.bpid}  (answers={peer.last_answers}, "
+              f"hops={peer.last_hops})")
+
+    # --- second query: the answer-bearers are now one hop away ---------
+    second = base.issue_query("jazz")
+    net.sim.run()
+    print(f"\nQuery 2: {second.network_answer_count} answers "
+          f"in {second.completion_time:.4f}s (simulated)")
+    speedup = handle.completion_time / second.completion_time
+    print(f"Reconfiguration speedup: {speedup:.2f}x")
+    base.finish_query(second)
+
+
+if __name__ == "__main__":
+    main()

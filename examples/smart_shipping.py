@@ -1,0 +1,74 @@
+"""Discovery + the code-vs-data shipping optimizer (paper future work).
+
+Section 6 of the paper: "We plan to make a node more intelligent by
+allowing it to determine at runtime which strategy to adopt -
+code-shipping or data-shipping."
+
+This example puts the pieces together:
+
+1. a :class:`DiscoveryAgent` sweeps the network *offline* and reports
+   every peer's content statistics (keyword histograms, store sizes);
+2. the adaptive shipping policy uses the discovered store sizes: small
+   stores are mirrored locally (data-shipping, amortized over future
+   queries), large stores are visited by agents (code-shipping);
+3. repeated queries get cheaper as the mirrors warm up.
+
+Run:  python examples/smart_shipping.py
+"""
+
+from repro import BestPeerConfig, build_network, star
+from repro.core import KnowledgeStrategy
+from repro.util.tracing import Tracer
+
+
+def main() -> None:
+    config = BestPeerConfig(shipping_policy="adaptive", max_direct_peers=4)
+    net = build_network(4, config=config, topology=star(4), tracer=Tracer())
+    base = net.base
+
+    # One peer hosts a tiny bookmark list; another a large media store.
+    tiny = net.nodes[1]
+    for i in range(5):
+        tiny.share(["bookmarks"], f"https://example.org/{i}".encode())
+    big = net.nodes[2]
+    for i in range(400):
+        big.share(["bookmarks" if i % 100 == 0 else "media"], bytes([i % 256]) * 1024)
+    net.nodes[3].share(["bookmarks"], b"https://conference.example/icde2002")
+
+    # --- offline discovery maps who shares what -----------------------
+    base.discover()
+    net.sim.run()
+    print("Discovered content map:")
+    for bpid, report in sorted(base.knowledge.reports.items(), key=lambda kv: str(kv[0])):
+        top = ", ".join(f"{k}x{c}" for k, c in report.keyword_counts[:2])
+        print(f"  {bpid}: {report.object_count} objects, "
+              f"{report.total_bytes:,} bytes ({top})")
+
+    # --- the shipping decision uses the discovered sizes ---------------
+    print("\nSmart query 1 (decisions below are traced per peer):")
+    handle = base.smart_query("bookmarks")
+    net.sim.run()
+    for event in net.tracer.select("node", "shipping-choice"):
+        print(f"  {event.get('peer')}: {event.get('choice')}")
+    print(f"  -> {handle.network_answer_count} answers "
+          f"in {(handle.last_arrival or 0) - handle.issued_at:.4f}s")
+
+    mirrored = [n.name for n in net.nodes[1:] if base.has_cached_data(n.bpid)]
+    print(f"\nLocally mirrored peers: {mirrored}")
+
+    print("\nSmart query 2 (mirrors answer from the local cache):")
+    start = net.sim.now
+    second = base.smart_query("bookmarks")
+    net.sim.run()
+    print(f"  -> {second.network_answer_count} answers "
+          f"in {(second.last_arrival or start) - start:.4f}s")
+
+    # --- knowledge also guides reconfiguration -------------------------
+    base.strategy = KnowledgeStrategy(base.knowledge, profile=["bookmarks"])
+    base.finish_query(second)
+    best = base.knowledge.best_providers(["bookmarks"], k=1)[0]
+    print(f"\nBest 'bookmarks' provider per the knowledge base: {best}")
+
+
+if __name__ == "__main__":
+    main()

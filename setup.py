@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment ships setuptools 65 without the ``wheel`` package, so the
+PEP 660 editable-install path (which requires ``bdist_wheel``) fails.
+This shim lets ``pip install -e . --no-use-pep517 --no-build-isolation``
+fall back to the legacy ``setup.py develop`` flow.  Metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,55 @@
+"""The agent programming model.
+
+An agent is a subclass of :class:`Agent` whose *code* (class source) and
+*state* (a plain-data dict) travel the network independently: code is
+cached per host, state ships with every envelope.  At the destination the
+engine reconstructs the instance and calls :meth:`Agent.execute` with an
+:class:`~repro.agents.engine.AgentContext` giving access to the host's
+shared resources.
+
+State must be plain data (numbers, strings, bytes, lists, dicts, ids):
+it is what crosses the wire.  The default :meth:`get_state` /
+:meth:`set_state` simply use ``__dict__``, which suffices for agents that
+keep their attributes plain; agents with richer attributes override both.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.agents.engine import AgentContext
+
+
+class Agent:
+    """Base class for mobile agents.
+
+    Subclass, implement :meth:`execute`, and dispatch through a
+    BestPeer node (or an :class:`~repro.agents.engine.AgentEngine`
+    directly).  Keep instance attributes plain-data so the default
+    state capture works.
+    """
+
+    def execute(self, context: "AgentContext") -> None:
+        """Run at the destination host.  Override in subclasses.
+
+        Use ``context`` to reach the host's StorM store and services, to
+        charge simulated CPU time for the work performed, and to send
+        results straight back to the initiator (``context.reply``).
+        """
+        raise NotImplementedError
+
+    def get_state(self) -> dict[str, Any]:
+        """Capture travelling state; must return plain data."""
+        return dict(self.__dict__)
+
+    def set_state(self, state: dict[str, Any]) -> None:
+        """Restore travelling state captured by :meth:`get_state`."""
+        self.__dict__.update(state)
+
+    @classmethod
+    def from_state(cls, state: dict[str, Any]) -> "Agent":
+        """Reconstruct an instance from shipped state without __init__."""
+        agent = cls.__new__(cls)
+        agent.set_state(state)
+        return agent

@@ -1,0 +1,117 @@
+"""Code shipping: moving agent *classes* between hosts.
+
+The prototype relied on Java serialization plus class loading: "both the
+agent and its class have to be present for the agent to resume execution
+at the destination engine.  Thus, if the class is not already at the
+destination node, the class has to be transmitted also."
+
+Here a class ships as its real Python source (via
+:func:`inspect.getsource`), and the destination's
+:class:`AgentCodeRegistry` ``exec``-utes it into an isolated namespace on
+first arrival.  Later arrivals of the same class ship state only.
+
+The exec namespace provides ``Agent`` (every shipped class subclasses
+it); anything else an agent needs must be imported inside its methods so
+the source stays self-contained.
+
+Trust model: agents are arbitrary code run on behalf of remote peers —
+exactly what the paper proposes.  This reproduction runs everything in
+one process and makes no sandboxing claims; do not feed it hostile
+sources.
+"""
+
+from __future__ import annotations
+
+import inspect
+import textwrap
+
+from repro.agents.agent import Agent
+from repro.errors import CodeShippingError
+
+
+def extract_source(agent_class: type) -> str:
+    """Return the dedented source text of an agent class.
+
+    Works for classes defined in modules, scripts, and (via the
+    ``linecache`` entries pytest and exec'd registries leave behind)
+    classes that themselves arrived by code shipping.
+    """
+    if not (isinstance(agent_class, type) and issubclass(agent_class, Agent)):
+        raise CodeShippingError(f"{agent_class!r} is not an Agent subclass")
+    # A class we installed ourselves remembers its shipped source.
+    shipped = getattr(agent_class, "__shipped_source__", None)
+    if shipped is not None:
+        return shipped
+    try:
+        source = inspect.getsource(agent_class)
+    except (OSError, TypeError) as exc:
+        raise CodeShippingError(
+            f"cannot extract source of {agent_class.__name__}: {exc}"
+        ) from exc
+    return textwrap.dedent(source)
+
+
+class AgentCodeRegistry:
+    """Per-host cache of agent classes, keyed by class name."""
+
+    def __init__(self):
+        self._classes: dict[str, type] = {}
+        self._sources: dict[str, str] = {}
+        #: counts installs, for tests and cost accounting
+        self.installs = 0
+
+    def has(self, class_name: str) -> bool:
+        """True when the class is already present at this host."""
+        return class_name in self._classes
+
+    def get(self, class_name: str) -> type:
+        """Fetch an installed class."""
+        try:
+            return self._classes[class_name]
+        except KeyError:
+            raise CodeShippingError(f"class {class_name!r} is not installed") from None
+
+    def source_of(self, class_name: str) -> str:
+        """The source an installed class was installed from."""
+        try:
+            return self._sources[class_name]
+        except KeyError:
+            raise CodeShippingError(f"class {class_name!r} is not installed") from None
+
+    def register_local(self, agent_class: type) -> str:
+        """Register a locally-defined class (the originating host's path).
+
+        Returns the class name used on the wire.
+        """
+        source = extract_source(agent_class)
+        name = agent_class.__name__
+        self._classes[name] = agent_class
+        self._sources[name] = source
+        return name
+
+    def install(self, class_name: str, source: str) -> type:
+        """Install a shipped class by executing its source (idempotent)."""
+        if class_name in self._classes:
+            return self._classes[class_name]
+        namespace: dict[str, object] = {"Agent": Agent}
+        try:
+            exec(compile(source, f"<agent:{class_name}>", "exec"), namespace)
+        except SyntaxError as exc:
+            raise CodeShippingError(
+                f"shipped source for {class_name!r} does not compile: {exc}"
+            ) from exc
+        installed = namespace.get(class_name)
+        if not (isinstance(installed, type) and issubclass(installed, Agent)):
+            raise CodeShippingError(
+                f"shipped source does not define Agent subclass {class_name!r}"
+            )
+        installed.__shipped_source__ = source  # re-shippable from here
+        self._classes[class_name] = installed
+        self._sources[class_name] = source
+        self.installs += 1
+        return installed
+
+    @property
+    def class_names(self) -> set[str]:
+        """Names of all installed classes."""
+        return set(self._classes)

@@ -1,0 +1,41 @@
+"""CPU cost knobs for agent installation and execution.
+
+Calibrated for *shape* rather than absolute milliseconds (the paper ran
+on Pentium-II PCs under a JVM): code shipping must be visibly more
+expensive than plain query shipping — "not only do they need to transmit
+the code/agent to the peers, they must also incur the overhead of
+reconstructing the agent at the peer site" — while the per-object match
+and page-I/O terms make StorM's buffer behaviour show up in agent
+service times.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class AgentCosts:
+    """Seconds charged for the pieces of agent handling."""
+
+    #: executing shipped source on first arrival of a class at a host
+    class_install_time: float = 0.012
+    #: reconstructing an agent instance from shipped state
+    state_install_time: float = 0.002
+    #: fixed overhead of starting the agent's thread of execution
+    execute_overhead: float = 0.001
+    #: one page read that missed the buffer pool
+    page_io_time: float = 0.003
+    #: comparing one stored object against the query
+    object_match_time: float = 0.00003
+
+    def __post_init__(self) -> None:
+        for name in (
+            "class_install_time",
+            "state_install_time",
+            "execute_overhead",
+            "page_io_time",
+            "object_match_time",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be >= 0")

@@ -1,0 +1,67 @@
+"""The wire form of a travelling agent.
+
+"The lifetime of an agent is determined by Time-to-live (TTL) and Hops
+variables. ... Once received an incoming agent, if the agent is not
+expired (if TTL > 0), remote host will decrease the TTL values of an
+agent before sending it to any other host that it is directly connected
+to.  Hops variable will be increased at the same time too.  The redundant
+use of TTL and Hops together is to enable hosts to drop any incoming
+agent that already has a copy on the site."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.ids import BPID, AgentId, QueryId
+from repro.net.address import IPAddress
+
+#: Default agent lifetime, matching Gnutella's customary TTL.
+DEFAULT_TTL = 7
+
+#: Flooding mode: clone-and-forward to every direct peer.
+MODE_FLOOD = "flood"
+#: Itinerary mode: visit a pre-defined path of hosts, one by one.
+MODE_ITINERARY = "itinerary"
+
+
+@dataclass(frozen=True, slots=True)
+class AgentEnvelope:
+    """Everything that crosses the wire for one agent hop."""
+
+    agent_id: AgentId
+    class_name: str
+    #: class source; None when the sender believes the receiver has it
+    source: str | None
+    #: plain-data instance state
+    state: dict[str, Any]
+    ttl: int
+    hops: int
+    initiator: BPID
+    initiator_address: IPAddress
+    query_id: QueryId | None = None
+    mode: str = MODE_FLOOD
+    #: itinerary mode only: remaining stops after the current one
+    path: tuple[IPAddress, ...] = field(default=())
+
+    @property
+    def expired(self) -> bool:
+        """An expired agent is executed locally but travels no further."""
+        return self.ttl <= 0
+
+    def hop(self, source: str | None) -> "AgentEnvelope":
+        """The envelope for the next hop: TTL down, Hops up."""
+        return replace(self, ttl=self.ttl - 1, hops=self.hops + 1, source=source)
+
+    def with_source(self, source: str | None) -> "AgentEnvelope":
+        """Same hop, different source inclusion (per-destination choice)."""
+        return replace(self, source=source)
+
+    def with_state(self, state: dict[str, Any]) -> "AgentEnvelope":
+        """Same envelope, refreshed state (itinerary agents mutate state)."""
+        return replace(self, state=state)
+
+    def advance_path(self) -> "AgentEnvelope":
+        """Pop the next itinerary stop."""
+        return replace(self, path=self.path[1:])

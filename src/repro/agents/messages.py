@@ -1,0 +1,56 @@
+"""Answer messages: what flows straight back to the query initiator.
+
+"Any nodes with matching results will respond to the initiating node
+directly" — answers never retrace the query path (the heart of
+BestPeer's advantage over CS and Gnutella return routing).
+
+The two result modes of Section 2 are both supported: in mode 1 each
+:class:`AnswerItem` carries the object payload; in mode 2 it carries
+metadata only (the initiator fetches chosen objects afterwards with a
+direct out-of-network download).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ids import BPID, QueryId
+from repro.net.address import IPAddress
+from repro.storm.heapfile import RecordId
+
+#: Mode 1 of Section 2: matching nodes return the answers directly.
+MODE_DIRECT = "direct"
+#: Mode 2: matching nodes return metadata; the initiator fetches later.
+MODE_METADATA = "metadata"
+
+
+@dataclass(frozen=True, slots=True)
+class AnswerItem:
+    """One matching object, as reported to the initiator."""
+
+    rid: RecordId
+    keywords: tuple[str, ...]
+    size: int
+    #: present in MODE_DIRECT, None in MODE_METADATA
+    payload: bytes | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class AnswerMessage:
+    """One responder's complete answer for one query."""
+
+    query_id: QueryId
+    responder: BPID
+    responder_address: IPAddress
+    #: how far (in overlay hops) the responder was from the initiator
+    hops: int
+    items: tuple[AnswerItem, ...]
+
+    @property
+    def answer_count(self) -> int:
+        return len(self.items)
+
+    @property
+    def answer_bytes(self) -> int:
+        """Total object bytes represented (payloads or reported sizes)."""
+        return sum(item.size for item in self.items)

@@ -1,0 +1,60 @@
+"""The paper's StorM search agent.
+
+Section 4.2: "We implemented a StorM agent, that takes as input a query
+from the user (in the form of a keyword), and then search through the
+entire BestPeer network. ... The agent makes a comparison for each object
+stored in the Shared-StorM database with its query.  All the matched
+results are stored in a temporally array.  The result is sent back to the
+base node."
+
+Two result modes (Section 2) are supported through ``mode``:
+``"direct"`` ships matching payloads in the answer; ``"metadata"`` ships
+descriptions only, for a later out-of-network fetch by the initiator.
+
+The agent is written to be *code-shippable*: it subclasses ``Agent``
+(present in every shipping namespace) and keeps its state plain.
+"""
+
+from __future__ import annotations
+
+from repro.agents.agent import Agent
+
+
+class StorMSearchAgent(Agent):
+    """Keyword search over each visited host's StorM store."""
+
+    def __init__(
+        self,
+        keyword: str,
+        mode: str = "direct",
+        use_index: bool = False,
+        reply_empty: bool = False,
+    ):
+        if mode not in ("direct", "metadata"):
+            raise ValueError(f"mode must be 'direct' or 'metadata', got {mode!r}")
+        self.keyword = keyword
+        self.mode = mode
+        self.use_index = use_index
+        self.reply_empty = reply_empty
+
+    def execute(self, context) -> None:
+        # Imports live inside execute so the shipped source is
+        # self-contained at any destination host.
+        from repro.agents.messages import AnswerItem
+
+        if self.use_index:
+            result = context.storm.search(self.keyword)
+        else:
+            # The paper's behaviour: compare every stored object.
+            result = context.storm.search_scan(self.keyword)
+        context.charge_search(result)
+        items = []
+        for rid, obj in result.matches:
+            payload = obj.payload if self.mode == "direct" else None
+            items.append(
+                AnswerItem(rid=rid, keywords=obj.keywords, size=obj.size, payload=payload)
+            )
+        # "Any nodes with matching results will respond to the initiating
+        # node directly" - nodes without matches stay silent by default.
+        if items or self.reply_empty:
+            context.reply(items)

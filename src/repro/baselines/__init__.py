@@ -1,0 +1,35 @@
+"""The paper's comparison systems, built from scratch on the same substrate.
+
+``client_server``  single-thread (SCS) and multi-thread (MCS) client/server
+                   search over the same topologies: the query travels down
+                   a tree of servers, results return *along the query
+                   path* (relayed immediately — implementation 2 of the
+                   paper's footnote 3)
+``gnutella``       the Gnutella 0.4 protocol as the FURI servent speaks
+                   it: fixed peers, QUERY flooding, QUERYHIT reverse-path
+                   routing
+"""
+
+from repro.baselines.client_server import (
+    CsDeployment,
+    CsNode,
+    CsQueryHandle,
+    build_cs_network,
+)
+from repro.baselines.gnutella import (
+    GnutellaDeployment,
+    GnutellaQueryHandle,
+    GnutellaServent,
+    build_gnutella_network,
+)
+
+__all__ = [
+    "CsNode",
+    "CsQueryHandle",
+    "CsDeployment",
+    "build_cs_network",
+    "GnutellaServent",
+    "GnutellaQueryHandle",
+    "GnutellaDeployment",
+    "build_gnutella_network",
+]

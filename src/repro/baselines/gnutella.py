@@ -1,0 +1,348 @@
+"""The Gnutella 0.4 protocol, as the FURI servent speaks it.
+
+The comparison system of Section 4.6.  Key protocol behaviours modelled:
+
+* a servent has a **fixed** set of peers — "a node has a fixed set of
+  peers and there is no dynamic adjustment";
+* QUERY descriptors flood with TTL/Hops and GUID-based duplicate
+  suppression;
+* QUERYHIT descriptors are routed **back along the reverse query
+  path**, hop by hop, using each servent's GUID routing table — "the
+  list of files have to be transmitted through the query traversal
+  path!";
+* hits carry the matching file *names* only ("it simply sends the list
+  of files that matches the query"); actual downloads are direct
+  HTTP-style transfers outside the protocol (not exercised by the
+  paper's experiment, nor here);
+* PING/PONG peer discovery with the same reverse-path routing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.costs import AgentCosts
+from repro.errors import TopologyError
+from repro.ids import SerialCounter
+from repro.net.address import AddressPool, IPAddress
+from repro.net.link import LinkModel
+from repro.net.message import Packet
+from repro.net.network import Network
+from repro.sim import Simulator
+from repro.storm.store import StorM
+from repro.topology.builders import Topology
+from repro.util.compression import Codec
+from repro.util.tracing import NULL_TRACER, Tracer
+
+PROTO_QUERY = "gnutella.query"
+PROTO_QUERYHIT = "gnutella.queryhit"
+PROTO_PING = "gnutella.ping"
+PROTO_PONG = "gnutella.pong"
+
+DEFAULT_TTL = 7
+
+
+@dataclass(frozen=True, slots=True)
+class QueryDescriptor:
+    """Gnutella QUERY: flooded to all peers."""
+
+    guid: tuple[str, int]
+    keyword: str
+    ttl: int
+    hops: int
+
+    def hop(self) -> "QueryDescriptor":
+        return QueryDescriptor(self.guid, self.keyword, self.ttl - 1, self.hops + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class QueryHitDescriptor:
+    """Gnutella QUERYHIT: routed back along the reverse query path."""
+
+    guid: tuple[str, int]
+    responder: str
+    #: (file name, size) pairs - names only, like a real QUERYHIT
+    files: tuple[tuple[str, int], ...]
+
+    @property
+    def answer_count(self) -> int:
+        return len(self.files)
+
+
+@dataclass(frozen=True, slots=True)
+class PingDescriptor:
+    """Gnutella PING: flooded peer discovery probe."""
+
+    guid: tuple[str, int]
+    ttl: int
+    hops: int
+
+    def hop(self) -> "PingDescriptor":
+        return PingDescriptor(self.guid, self.ttl - 1, self.hops + 1)
+
+
+@dataclass(frozen=True, slots=True)
+class PongDescriptor:
+    """Gnutella PONG: a servent's answer to a PING, reverse-routed."""
+
+    guid: tuple[str, int]
+    responder: str
+    address: IPAddress
+    shared_files: int
+
+
+@dataclass
+class GnutellaQueryHandle:
+    """Query bookkeeping at the originating servent."""
+
+    guid: tuple[str, int]
+    keyword: str
+    issued_at: float
+    #: (arrival time, responder, hit count) in arrival order
+    arrivals: list[tuple[float, str, int]] = field(default_factory=list)
+
+    @property
+    def network_answer_count(self) -> int:
+        return sum(count for _, _, count in self.arrivals)
+
+    @property
+    def responders(self) -> set[str]:
+        return {responder for _, responder, _ in self.arrivals}
+
+    @property
+    def completion_time(self) -> float | None:
+        if not self.arrivals:
+            return None
+        return self.arrivals[-1][0] - self.issued_at
+
+
+class GnutellaServent:
+    """One Gnutella node (a FURI instance, minus the GUI)."""
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        storm: StorM | None = None,
+        costs: AgentCosts | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.name = name
+        self.costs = costs if costs is not None else AgentCosts()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        # FURI is a Java GUI servent with a couple of worker threads:
+        # relayed QUERYHITs queue behind the servent's own search work,
+        # which is precisely why reverse-path result routing hurts.
+        self.host = network.create_host(name, cpu_threads=2)
+        self.sim = network.sim
+        #: shared files live in the same storage substrate as BestPeer's
+        self.storm = storm if storm is not None else StorM()
+        self.peers: list[IPAddress] = []
+        self._serials = SerialCounter()
+        self._seen: set[tuple[str, int]] = set()
+        #: GUID -> upstream address: the reverse-path routing table
+        self._routes: dict[tuple[str, int], IPAddress] = {}
+        self._handles: dict[tuple[str, int], GnutellaQueryHandle] = {}
+        self._pongs: dict[tuple[str, int], list[PongDescriptor]] = {}
+        self.queries_handled = 0
+        self.hits_relayed = 0
+        self.host.bind(PROTO_QUERY, self._on_query)
+        self.host.bind(PROTO_QUERYHIT, self._on_queryhit)
+        self.host.bind(PROTO_PING, self._on_ping)
+        self.host.bind(PROTO_PONG, self._on_pong)
+
+    def set_peers(self, peers: list[IPAddress]) -> None:
+        """Install the fixed peer set."""
+        self.peers = list(peers)
+
+    # -- querying -----------------------------------------------------------------
+
+    def issue_query(self, keyword: str, ttl: int = DEFAULT_TTL) -> GnutellaQueryHandle:
+        """Flood a QUERY to all peers; hits route back here."""
+        guid = (self.name, self._serials.next())
+        self._seen.add(guid)
+        handle = GnutellaQueryHandle(
+            guid=guid, keyword=keyword, issued_at=self.sim.now
+        )
+        self._handles[guid] = handle
+        descriptor = QueryDescriptor(guid, keyword, ttl - 1, 1)
+        for peer in self.peers:
+            self.host.send(peer, PROTO_QUERY, descriptor)
+        return handle
+
+    def _on_query(self, packet: Packet) -> None:
+        query: QueryDescriptor = packet.payload
+        if query.guid in self._seen:
+            return
+        self._seen.add(query.guid)
+        self._routes[query.guid] = packet.src
+        if query.ttl > 0:
+            forwarded = query.hop()
+            for peer in self.peers:
+                if peer != packet.src:
+                    self.host.send(peer, PROTO_QUERY, forwarded)
+        # Search the shared files; same cost model as everywhere else.
+        result = self.storm.search_scan(query.keyword)
+        self.queries_handled += 1
+        service_time = (
+            self.costs.execute_overhead
+            + result.objects_examined * self.costs.object_match_time
+            + result.io.physical_reads * self.costs.page_io_time
+        )
+        if result.matches:
+            files = tuple(
+                (f"{self.name}/file-{rid.page_id}-{rid.slot}", obj.size)
+                for rid, obj in result.matches
+            )
+            hit = QueryHitDescriptor(query.guid, self.name, files)
+            upstream = packet.src
+            self.host.cpu.submit(service_time, self._send_hit, upstream, hit)
+        else:
+            self.host.cpu.submit(service_time, lambda: None)
+
+    def _send_hit(self, upstream: IPAddress, hit: QueryHitDescriptor) -> None:
+        if self.host.online:
+            self.host.send(upstream, PROTO_QUERYHIT, hit)
+
+    def _on_queryhit(self, packet: Packet) -> None:
+        hit: QueryHitDescriptor = packet.payload
+        handle = self._handles.get(hit.guid)
+        if handle is not None:
+            handle.arrivals.append((self.sim.now, hit.responder, hit.answer_count))
+            return
+        upstream = self._routes.get(hit.guid)
+        if upstream is None:
+            return  # route expired: the hit is dropped, per the protocol
+        self.hits_relayed += 1
+        self.host.send(upstream, PROTO_QUERYHIT, hit)
+
+    # -- ping / pong ---------------------------------------------------------------
+
+    def ping_network(self, ttl: int = DEFAULT_TTL) -> tuple[str, int]:
+        """Flood a PING; pongs collect in :meth:`pongs_for`."""
+        guid = (self.name, self._serials.next())
+        self._seen.add(guid)
+        self._pongs[guid] = []
+        descriptor = PingDescriptor(guid, ttl - 1, 1)
+        for peer in self.peers:
+            self.host.send(peer, PROTO_PING, descriptor)
+        return guid
+
+    def pongs_for(self, guid: tuple[str, int]) -> list[PongDescriptor]:
+        return list(self._pongs.get(guid, []))
+
+    def bootstrap(
+        self,
+        seed: IPAddress,
+        max_peers: int = 8,
+        ttl: int = DEFAULT_TTL,
+        settle_time: float = 2.0,
+    ) -> None:
+        """Join the overlay through one known servent (the host cache).
+
+        The classic Gnutella join: connect to a single seed, flood a
+        PING, collect PONGs (each carries a live servent's address), and
+        after ``settle_time`` adopt up to ``max_peers`` of the
+        discovered servents — preferring the ones sharing the most
+        files — as the fixed peer set.
+        """
+        self.peers = [seed]
+        guid = self.ping_network(ttl=ttl)
+        self.sim.schedule(settle_time, self._adopt_from_pongs, guid, seed, max_peers)
+
+    def _adopt_from_pongs(
+        self, guid: tuple[str, int], seed: IPAddress, max_peers: int
+    ) -> None:
+        pongs = self.pongs_for(guid)
+        ranked = sorted(pongs, key=lambda p: (-p.shared_files, p.responder))
+        adopted: list[IPAddress] = [seed]
+        for pong in ranked:
+            if len(adopted) >= max_peers:
+                break
+            if pong.address not in adopted:
+                adopted.append(pong.address)
+        self.peers = adopted
+        self.tracer.record(
+            self.sim.now,
+            "gnutella",
+            "bootstrap",
+            servent=self.name,
+            peers=len(adopted),
+        )
+
+    def _on_ping(self, packet: Packet) -> None:
+        ping: PingDescriptor = packet.payload
+        if ping.guid in self._seen:
+            return
+        self._seen.add(ping.guid)
+        self._routes[ping.guid] = packet.src
+        if ping.ttl > 0:
+            forwarded = ping.hop()
+            for peer in self.peers:
+                if peer != packet.src:
+                    self.host.send(peer, PROTO_PING, forwarded)
+        assert self.host.address is not None
+        pong = PongDescriptor(ping.guid, self.name, self.host.address, self.storm.count)
+        self.host.send(packet.src, PROTO_PONG, pong)
+
+    def _on_pong(self, packet: Packet) -> None:
+        pong: PongDescriptor = packet.payload
+        if pong.guid in self._pongs:
+            self._pongs[pong.guid].append(pong)
+            return
+        upstream = self._routes.get(pong.guid)
+        if upstream is not None:
+            self.host.send(upstream, PROTO_PONG, pong)
+
+
+class GnutellaDeployment:
+    """A built Gnutella overlay."""
+
+    def __init__(self, sim: Simulator, network: Network, servents: list[GnutellaServent]):
+        self.sim = sim
+        self.network = network
+        self.servents = servents
+
+    @property
+    def base(self) -> GnutellaServent:
+        return self.servents[0]
+
+    def servent(self, index: int) -> GnutellaServent:
+        return self.servents[index]
+
+    def populate(self, fill, skip_base: bool = False) -> None:
+        for index, servent in enumerate(self.servents):
+            if skip_base and index == 0:
+                continue
+            fill(servent, index)
+
+
+def build_gnutella_network(
+    topology: Topology,
+    costs: AgentCosts | None = None,
+    default_link: LinkModel | None = None,
+    codec: Codec | None = None,
+    tracer: Tracer | None = None,
+    sim: Simulator | None = None,
+) -> GnutellaDeployment:
+    """Build a Gnutella overlay mirroring ``topology``."""
+    if topology.node_count < 1:
+        raise TopologyError("need at least one servent")
+    sim = sim if sim is not None else Simulator()
+    tracer = tracer if tracer is not None else NULL_TRACER
+    network = Network(
+        sim,
+        pool=AddressPool(size=max(256, 2 * topology.node_count)),
+        default_link=default_link,
+        codec=codec,
+        tracer=tracer,
+    )
+    servents = [
+        GnutellaServent(network, f"gnut-{i}", costs=costs, tracer=tracer)
+        for i in range(topology.node_count)
+    ]
+    for index, servent in enumerate(servents):
+        servent.set_peers(
+            [servents[neighbor].host.address for neighbor in topology.neighbors(index)]
+        )
+    return GnutellaDeployment(sim, network, servents)

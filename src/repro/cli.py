@@ -1,0 +1,182 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro figure 5a            # paper scale (1000 objects/node)
+    python -m repro figure 8a --objects 200 --queries 4
+    python -m repro ablation strategy
+    python -m repro demo
+
+``figure`` and ``ablation`` print the same series the benchmarks under
+``benchmarks/`` assert on; ``--objects``/``--queries`` scale the
+workload down for quick looks.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Callable, Sequence
+
+from repro.eval import ablations, figures
+from repro.eval.experiment import FigureResult
+from repro.eval.figures import FigureParams
+from repro.eval.report import format_figure
+
+#: figure name -> callable(params) -> FigureResult
+FIGURES: dict[str, Callable[[FigureParams], FigureResult]] = {
+    "5a": figures.figure_5a,
+    "5b": figures.figure_5b,
+    "5c": figures.figure_5c,
+    "6": figures.figure_6,
+    "7": figures.figure_7,
+    "8a": figures.figure_8a,
+    "8b": figures.figure_8b,
+}
+
+ABLATIONS: dict[str, Callable[[FigureParams], FigureResult]] = {
+    "strategy": ablations.ablation_strategy,
+    "compression": ablations.ablation_compression,
+    "ttl": ablations.ablation_ttl,
+    "result-mode": ablations.ablation_result_mode,
+    "replication": ablations.ablation_replication,
+    "shipping": ablations.ablation_shipping,
+    "buffer": lambda params: ablations.ablation_buffer_strategy(
+        objects=params.objects_per_node, object_size=params.object_size
+    ),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BestPeer (ICDE 2002) reproduction - experiment runner",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    commands.add_parser("list", help="list available figures and ablations")
+
+    figure = commands.add_parser("figure", help="reproduce one paper figure")
+    figure.add_argument("name", choices=sorted(FIGURES))
+    _add_scale_arguments(figure)
+
+    ablation = commands.add_parser("ablation", help="run one ablation study")
+    ablation.add_argument("name", choices=sorted(ABLATIONS))
+    _add_scale_arguments(ablation)
+
+    verify = commands.add_parser(
+        "verify", help="run every figure and check the paper's claims"
+    )
+    _add_scale_arguments(verify)
+
+    commands.add_parser("demo", help="run a small end-to-end demonstration")
+    return parser
+
+
+def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--objects",
+        type=int,
+        default=1000,
+        help="objects per node (paper: 1000)",
+    )
+    parser.add_argument(
+        "--queries", type=int, default=4, help="query repetitions (paper: 4)"
+    )
+    parser.add_argument("--seed", type=int, default=0, help="experiment seed")
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="also render an ASCII chart of the series",
+    )
+
+
+def _params(args: argparse.Namespace) -> FigureParams:
+    return FigureParams(
+        objects_per_node=args.objects, queries=args.queries, seed=args.seed
+    )
+
+
+def _run_list() -> int:
+    print("figures:   " + "  ".join(sorted(FIGURES)))
+    print("ablations: " + "  ".join(sorted(ABLATIONS)))
+    return 0
+
+
+def _run_figure(args: argparse.Namespace) -> int:
+    result = FIGURES[args.name](_params(args))
+    _emit(result, args)
+    return 0
+
+
+def _run_ablation(args: argparse.Namespace) -> int:
+    result = ABLATIONS[args.name](_params(args))
+    _emit(result, args)
+    return 0
+
+
+def _emit(result: FigureResult, args: argparse.Namespace) -> None:
+    print(format_figure(result))
+    if args.plot:
+        from repro.eval.plot import render_ascii_plot
+
+        print()
+        print(render_ascii_plot(result))
+
+
+def _run_verify(args: argparse.Namespace) -> int:
+    from repro.eval.claims import CLAIMS, verify_all
+
+    params = _params(args)
+    results = {}
+    for key in sorted(CLAIMS):
+        print(f"running figure {key} ...", flush=True)
+        results[key] = FIGURES[key](params)
+    report = verify_all(results)
+    print()
+    print(report)
+    return 0 if "FAIL" not in report else 1
+
+
+def _run_demo() -> int:
+    from repro import BestPeerConfig, build_network, line
+
+    net = build_network(
+        6,
+        config=BestPeerConfig(max_direct_peers=3, strategy="maxcount"),
+        topology=line(6),
+    )
+    net.nodes[4].share(["demo"], b"found at the far end")
+    net.nodes[5].share(["demo"], b"and even farther")
+    first = net.base.issue_query("demo")
+    net.sim.run()
+    print(
+        f"query 1: {first.network_answer_count} answers in "
+        f"{first.completion_time:.4f}s (simulated)"
+    )
+    net.base.finish_query(first)
+    second = net.base.issue_query("demo")
+    net.sim.run()
+    print(
+        f"query 2: {second.network_answer_count} answers in "
+        f"{second.completion_time:.4f}s after reconfiguration"
+    )
+    print(f"speedup: {first.completion_time / second.completion_time:.2f}x")
+    net.base.finish_query(second)
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _run_list()
+    if args.command == "figure":
+        return _run_figure(args)
+    if args.command == "ablation":
+        return _run_ablation(args)
+    if args.command == "verify":
+        return _run_verify(args)
+    if args.command == "demo":
+        return _run_demo()
+    raise AssertionError(f"unhandled command {args.command!r}")

@@ -1,0 +1,69 @@
+"""BestPeer core: the node software and its self-configuration machinery.
+
+``config``    node configuration and cost-model knobs
+``reconfig``  reconfiguration strategies (MaxCount, MinHops, ...)
+``peers``     the direct-peer table
+``query``     query lifecycle: answers, observations, completion
+``sharing``   static files, active objects, compute shipping
+``node``      :class:`BestPeerNode` — everything wired together
+``builder``   convenience construction of whole BestPeer networks
+"""
+
+from repro.core.builder import BestPeerNetwork, build_network
+from repro.core.config import BestPeerConfig
+from repro.core.discovery import (
+    ContentReport,
+    DiscoveryAgent,
+    KnowledgeBase,
+    KnowledgeStrategy,
+)
+from repro.core.node import BestPeerNode
+from repro.core.peers import PeerInfo, PeerTable
+from repro.core.query import QueryHandle
+from repro.core.reconfig import (
+    MaxCountStrategy,
+    MinHopsStrategy,
+    PeerObservation,
+    RandomReplacementStrategy,
+    ReconfigurationStrategy,
+    StaticStrategy,
+    make_reconfig_strategy,
+)
+from repro.core.sharing import ActiveObject, ShareCatalog
+from repro.core.shipping import (
+    AdaptiveShippingPolicy,
+    AlwaysCodePolicy,
+    AlwaysDataPolicy,
+    PeerEstimate,
+    ShippingPolicy,
+    make_shipping_policy,
+)
+
+__all__ = [
+    "BestPeerConfig",
+    "BestPeerNode",
+    "BestPeerNetwork",
+    "build_network",
+    "PeerTable",
+    "PeerInfo",
+    "QueryHandle",
+    "ReconfigurationStrategy",
+    "MaxCountStrategy",
+    "MinHopsStrategy",
+    "RandomReplacementStrategy",
+    "StaticStrategy",
+    "PeerObservation",
+    "make_reconfig_strategy",
+    "ActiveObject",
+    "ShareCatalog",
+    "ShippingPolicy",
+    "AlwaysCodePolicy",
+    "AlwaysDataPolicy",
+    "AdaptiveShippingPolicy",
+    "PeerEstimate",
+    "make_shipping_policy",
+    "DiscoveryAgent",
+    "ContentReport",
+    "KnowledgeBase",
+    "KnowledgeStrategy",
+]

@@ -1,0 +1,57 @@
+"""Node configuration.
+
+Every knob the paper mentions is here: the per-node cap on direct peers
+("Every BestPeer node has its own control over the maximum number of
+direct peers it can have"), the reconfiguration strategy, agent TTL, the
+result-return mode of Section 2, and the CPU/cost parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.agents.costs import AgentCosts
+from repro.agents.envelope import DEFAULT_TTL
+from repro.agents.messages import MODE_DIRECT, MODE_METADATA
+from repro.errors import BestPeerError
+
+
+@dataclass(frozen=True)
+class BestPeerConfig:
+    """Immutable per-node configuration."""
+
+    #: k - the maximum number of directly connected peers
+    max_direct_peers: int = 8
+    #: agent lifetime in overlay hops
+    ttl: int = DEFAULT_TTL
+    #: "direct" ships payloads in answers; "metadata" defers to fetches
+    result_mode: str = MODE_DIRECT
+    #: reconfiguration strategy name: maxcount | minhops | random | static
+    strategy: str = "maxcount"
+    #: search with the inverted index instead of the paper's full scan
+    use_index: bool = False
+    #: also search this node's own store when it issues a query
+    search_own_store: bool = True
+    #: CPU threads on the node's host (the BestPeer prototype is threaded)
+    cpu_threads: int = 8
+    #: how long a fetch (out-of-network download) waits before giving up
+    fetch_timeout: float = 5.0
+    #: shipping decision for smart queries: always-code | always-data |
+    #: adaptive (the paper's future-work runtime choice)
+    shipping_policy: str = "always-code"
+    #: agent install/execution cost model
+    agent_costs: AgentCosts = field(default_factory=AgentCosts)
+
+    def __post_init__(self) -> None:
+        if self.max_direct_peers < 1:
+            raise BestPeerError(
+                f"max_direct_peers must be >= 1, got {self.max_direct_peers}"
+            )
+        if self.ttl < 1:
+            raise BestPeerError(f"ttl must be >= 1, got {self.ttl}")
+        if self.result_mode not in (MODE_DIRECT, MODE_METADATA):
+            raise BestPeerError(f"unknown result mode {self.result_mode!r}")
+        if self.cpu_threads < 1:
+            raise BestPeerError(f"cpu_threads must be >= 1, got {self.cpu_threads}")
+        if self.fetch_timeout <= 0:
+            raise BestPeerError(f"fetch_timeout must be > 0, got {self.fetch_timeout}")

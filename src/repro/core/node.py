@@ -1,0 +1,672 @@
+"""The BestPeer node: everything a participant runs.
+
+Wires together one host, its StorM store, the mobile-agent engine, the
+LIGLO client, the direct-peer table, and the reconfiguration strategy.
+
+Lifecycle (Section 2):
+
+* :meth:`BestPeerNode.join` — register with a LIGLO server (getting a
+  BPID and an initial peer list) and become a participant.
+* :meth:`BestPeerNode.leave` / :meth:`BestPeerNode.rejoin` — churn: on
+  rejoin the node announces its new IP to its LIGLO and refreshes every
+  peer's address through that peer's own LIGLO, dropping peers whose
+  LIGLO reports them offline.
+* :meth:`BestPeerNode.issue_query` — flood a StorM search agent to the
+  direct peers; answers stream straight back.
+* :meth:`BestPeerNode.finish_query` — close the query and reconfigure:
+  the strategy re-ranks current peers and responders and the node keeps
+  the best ``k``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.agents.agent import Agent
+from repro.agents.engine import PROTO_ANSWER, AgentEngine
+from repro.agents.envelope import MODE_FLOOD
+from repro.agents.messages import MODE_METADATA, AnswerMessage
+from repro.agents.storm_agent import StorMSearchAgent
+from repro.core import sharing
+from repro.core.config import BestPeerConfig
+from repro.core.discovery import (
+    PROTO_DISCOVERY_REPORT,
+    ContentReport,
+    DiscoveryAgent,
+    KnowledgeBase,
+)
+from repro.core.peers import PeerInfo, PeerTable
+from repro.core.query import QueryHandle
+from repro.core.reconfig import (
+    PeerObservation,
+    ReconfigurationStrategy,
+    make_reconfig_strategy,
+)
+from repro.core.sharing import (
+    PROTO_ACTIVE,
+    PROTO_ACTIVE_REPLY,
+    PROTO_FETCH,
+    PROTO_FETCH_REPLY,
+    ActiveObject,
+    ActiveReply,
+    ActiveRequest,
+    FetchReply,
+    FetchRequest,
+    ShareCatalog,
+)
+from repro.core.shipping import (
+    CODE,
+    DATA,
+    PROTO_DATA_REPLY,
+    PROTO_DATA_REQUEST,
+    DataReply,
+    DataRequest,
+    PeerEstimate,
+    make_shipping_policy,
+)
+from repro.errors import AccessDeniedError, BestPeerError, QueryError
+from repro.ids import BPID, AgentId, QueryId, SerialCounter
+from repro.liglo.client import LigloClient, RegistrationResult
+from repro.net.address import IPAddress
+from repro.net.message import Packet
+from repro.net.network import Network
+from repro.storm.heapfile import RecordId
+from repro.storm.store import StorM
+from repro.util.tracing import NULL_TRACER, Tracer
+
+
+class BestPeerNode:
+    """One participant in a BestPeer network."""
+
+    def __init__(
+        self,
+        network: Network,
+        name: str,
+        config: BestPeerConfig | None = None,
+        storm: StorM | None = None,
+        strategy: ReconfigurationStrategy | None = None,
+        tracer: Tracer | None = None,
+    ):
+        self.config = config if config is not None else BestPeerConfig()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.network = network
+        self.name = name
+        self.host = network.create_host(name, cpu_threads=self.config.cpu_threads)
+        self.sim = network.sim
+        self.storm = storm if storm is not None else StorM()
+        self.peers = PeerTable(self.config.max_direct_peers)
+        self.strategy = (
+            strategy
+            if strategy is not None
+            else make_reconfig_strategy(self.config.strategy)
+        )
+        self.liglo = LigloClient(self.host, tracer=self.tracer)
+        self.catalog = ShareCatalog()
+        self.engine: AgentEngine | None = None
+        self._queries: dict[QueryId, QueryHandle] = {}
+        self._query_serials = SerialCounter()
+        self._fetch_tokens = SerialCounter()
+        self._pending_fetches: dict[int, Callable[[FetchReply | None], None]] = {}
+        self._pending_actives: dict[int, Callable[[ActiveReply | None], None]] = {}
+        self.shipping = make_shipping_policy(self.config.shipping_policy)
+        self._estimates: dict[BPID, PeerEstimate] = {}
+        self._data_cache: dict[BPID, list] = {}
+        self._pending_data: dict[int, tuple[BPID, QueryHandle]] = {}
+        self.host.bind(PROTO_ANSWER, self._on_answer)
+        self.host.bind(PROTO_FETCH, self._on_fetch)
+        self.host.bind(PROTO_FETCH_REPLY, self._on_fetch_reply)
+        self.host.bind(PROTO_ACTIVE, self._on_active)
+        self.host.bind(PROTO_ACTIVE_REPLY, self._on_active_reply)
+        self.host.bind(PROTO_DATA_REQUEST, self._on_data_request)
+        self.host.bind(PROTO_DATA_REPLY, self._on_data_reply)
+        self.knowledge = KnowledgeBase()
+        self.host.bind(PROTO_DISCOVERY_REPORT, self._on_discovery_report)
+
+    # -- identity & membership -------------------------------------------------
+
+    @property
+    def bpid(self) -> BPID:
+        """This node's BestPeer id (raises before it has one)."""
+        if self.engine is None:
+            raise BestPeerError(f"node {self.name} has not joined yet")
+        return self.engine.local_bpid
+
+    @property
+    def joined(self) -> bool:
+        return self.engine is not None
+
+    def join(
+        self,
+        liglo_addresses: Sequence[IPAddress],
+        on_joined: Callable[[RegistrationResult], None] | None = None,
+    ) -> None:
+        """Register with a LIGLO server and adopt its initial peer list."""
+        if self.engine is not None:
+            raise BestPeerError(f"node {self.name} already joined")
+
+        def registered(result: RegistrationResult) -> None:
+            if result.accepted:
+                assert result.bpid is not None
+                self._init_engine(result.bpid)
+                now = self.sim.now
+                for peer_bpid, peer_address in result.peers:
+                    if not self.peers.is_full and peer_bpid not in self.peers:
+                        self.peers.add(peer_bpid, peer_address, now)
+            if on_joined is not None:
+                on_joined(result)
+
+        self.liglo.register_any(liglo_addresses, registered)
+
+    def assume_identity(self, bpid: BPID) -> None:
+        """Take an identity without LIGLO (controlled experiments)."""
+        if self.engine is not None:
+            raise BestPeerError(f"node {self.name} already has an identity")
+        self._init_engine(bpid)
+
+    def _init_engine(self, bpid: BPID) -> None:
+        self.engine = AgentEngine(
+            self.host,
+            bpid,
+            services={"storm": self.storm, "node": self},
+            costs=self.config.agent_costs,
+            get_peers=self.peers.addresses,
+            tracer=self.tracer,
+        )
+
+    def leave(self) -> None:
+        """Disconnect from the network (the address lease is released)."""
+        self.host.disconnect()
+
+    def rejoin(self, on_refreshed: Callable[[], None] | None = None) -> None:
+        """Reconnect after churn, per Section 2's rejoin protocol.
+
+        The node (1) reconnects under a fresh IP, (2) announces the new
+        IP to its own LIGLO, and (3) asks each direct peer's registered
+        LIGLO for that peer's current IP, updating or dropping the peer.
+        """
+        self.host.connect()
+        if self.engine is None:
+            if on_refreshed is not None:
+                on_refreshed()
+            return
+        if self.liglo.bpid is not None:
+            self.liglo.announce()
+        pending = len(self.peers)
+        if pending == 0:
+            if on_refreshed is not None:
+                on_refreshed()
+            return
+        remaining = [pending]  # mutable cell for the closures below
+
+        def resolved(peer_bpid: BPID, reply) -> None:
+            if reply is not None and reply.online and reply.address is not None:
+                if peer_bpid in self.peers:
+                    self.peers.update_address(peer_bpid, reply.address)
+            elif peer_bpid in self.peers:
+                # Peer is offline or its LIGLO vanished: drop it; a later
+                # reconfiguration will fill the slot with a fresh peer.
+                self.peers.remove(peer_bpid)
+                self.tracer.record(
+                    self.sim.now, "node", "drop-peer", node=self.name, peer=str(peer_bpid)
+                )
+            remaining[0] -= 1
+            if remaining[0] == 0 and on_refreshed is not None:
+                on_refreshed()
+
+        for peer in self.peers.entries():
+            self.liglo.resolve(
+                peer.bpid,
+                lambda reply, peer_bpid=peer.bpid: resolved(peer_bpid, reply),
+            )
+
+    # -- peer management ---------------------------------------------------------
+
+    def add_peer(self, bpid: BPID, address: IPAddress) -> None:
+        """Manually add a direct peer (topology setup, experiments)."""
+        self.peers.add(bpid, address, self.sim.now)
+
+    def connect_to(self, other: "BestPeerNode") -> None:
+        """Convenience: make ``other`` a direct peer of this node."""
+        assert other.host.address is not None
+        self.add_peer(other.bpid, other.host.address)
+
+    # -- sharing --------------------------------------------------------------------
+
+    def share(self, keywords: Sequence[str], payload: bytes) -> RecordId:
+        """Publish a static object into this node's sharable StorM store."""
+        return self.storm.put(keywords, payload)
+
+    def share_active(
+        self, name: str, data: bytes, element: sharing.ActiveElement
+    ) -> ActiveObject:
+        """Publish an active object guarded by ``element``."""
+        obj = ActiveObject(name, data, element)
+        self.catalog.register(obj)
+        return obj
+
+    # -- querying --------------------------------------------------------------------
+
+    def issue_query(
+        self,
+        keyword: str,
+        ttl: int | None = None,
+        on_answer: Callable[[QueryHandle, AnswerMessage], None] | None = None,
+        on_finish: Callable[[QueryHandle], None] | None = None,
+        auto_finish_after: float | None = None,
+    ) -> QueryHandle:
+        """Flood a StorM search agent to the direct peers.
+
+        Answers stream into the returned handle as they arrive.  If
+        ``auto_finish_after`` is set, the query self-finishes once no
+        answer has arrived for that long; otherwise the caller decides
+        when to call :meth:`finish_query`.
+        """
+        if self.engine is None:
+            raise BestPeerError(f"node {self.name} must join before querying")
+        query_id = QueryId(self.bpid, self._query_serials.next())
+        handle = QueryHandle(
+            query_id=query_id,
+            keyword=keyword,
+            issued_at=self.sim.now,
+            on_answer=on_answer,
+            on_finish=on_finish,
+        )
+        self._queries[query_id] = handle
+        if self.config.search_own_store:
+            if self.config.use_index:
+                handle.local_result = self.storm.search(keyword)
+            else:
+                handle.local_result = self.storm.search_scan(keyword)
+        agent = StorMSearchAgent(
+            keyword,
+            mode="metadata" if self.config.result_mode == MODE_METADATA else "direct",
+            use_index=self.config.use_index,
+        )
+        self.engine.dispatch(
+            agent,
+            query_id=query_id,
+            ttl=ttl if ttl is not None else self.config.ttl,
+            mode=MODE_FLOOD,
+        )
+        self.tracer.record(
+            self.sim.now,
+            "node",
+            "query",
+            node=self.name,
+            query=str(query_id),
+            keyword=keyword,
+        )
+        if auto_finish_after is not None:
+            self._arm_auto_finish(handle, auto_finish_after)
+        return handle
+
+    def dispatch_agent(self, agent: Agent, **kwargs: Any) -> AgentId:
+        """Send a custom agent into the network (compute sharing)."""
+        if self.engine is None:
+            raise BestPeerError(f"node {self.name} must join before dispatching")
+        return self.engine.dispatch(agent, **kwargs)
+
+    def _on_answer(self, packet: Packet) -> None:
+        answer: AnswerMessage = packet.payload
+        handle = self._queries.get(answer.query_id)
+        if handle is None or handle.finished:
+            self.tracer.record(
+                self.sim.now, "node", "late-answer", node=self.name
+            )
+            return
+        handle.record_answer(answer, self.sim.now)
+
+    def _arm_auto_finish(self, handle: QueryHandle, quiet_period: float) -> None:
+        def check() -> None:
+            if handle.finished:
+                return
+            last_activity = handle.last_arrival or handle.issued_at
+            deadline = last_activity + quiet_period
+            if self.sim.now >= deadline:
+                self.finish_query(handle)
+            else:
+                self.sim.schedule(deadline - self.sim.now, check)
+
+        self.sim.schedule(quiet_period, check)
+
+    # -- reconfiguration ----------------------------------------------------------------
+
+    def finish_query(self, handle: QueryHandle) -> None:
+        """Close a query and run the reconfiguration strategy."""
+        if handle.query_id not in self._queries:
+            raise QueryError(f"{handle.query_id} does not belong to this node")
+        handle.mark_finished(self.sim.now)
+        self._reconfigure(handle)
+
+    def _reconfigure(self, handle: QueryHandle) -> None:
+        observations = self._observations_from(handle)
+        selected = self.strategy.select(observations, self.config.max_direct_peers)
+        before = set(self.peers.bpids())
+        now = self.sim.now
+        new_entries = []
+        for obs in selected:
+            existing = self.peers.get(obs.bpid)
+            entry = PeerInfo(
+                bpid=obs.bpid,
+                address=obs.address,
+                added_at=existing.added_at if existing else now,
+                last_answers=obs.answers,
+                last_hops=obs.hops,
+                total_answers=(existing.total_answers if existing else 0) + obs.answers,
+            )
+            new_entries.append(entry)
+        self.peers.replace_all(new_entries)
+        after = set(self.peers.bpids())
+        if before != after:
+            self.tracer.record(
+                now,
+                "node",
+                "reconfigure",
+                node=self.name,
+                added=sorted(str(b) for b in after - before),
+                dropped=sorted(str(b) for b in before - after),
+            )
+
+    def _observations_from(self, handle: QueryHandle) -> list[PeerObservation]:
+        """Merge current peers and responders into strategy input."""
+        merged: dict[BPID, PeerObservation] = {}
+        for peer in self.peers.entries():
+            merged[peer.bpid] = PeerObservation(
+                bpid=peer.bpid, address=peer.address, is_current=True
+            )
+        totals: dict[BPID, tuple[int, int, IPAddress]] = {}
+        for answer in handle.answers:
+            if answer.responder == self.bpid:
+                continue
+            count, _hops, _address = totals.get(answer.responder, (0, 0, None))
+            totals[answer.responder] = (
+                count + answer.answer_count,
+                answer.hops,
+                answer.responder_address,
+            )
+        for bpid, (count, hops, address) in totals.items():
+            current = bpid in merged
+            merged[bpid] = PeerObservation(
+                bpid=bpid,
+                address=address,
+                answers=count,
+                hops=hops,
+                is_current=current,
+            )
+        return list(merged.values())
+
+    # -- offline discovery -------------------------------------------------------------
+
+    def discover(self, ttl: int | None = None) -> None:
+        """Flood a :class:`DiscoveryAgent` to map the network's content.
+
+        Reports stream back into :attr:`knowledge` (and feed the
+        shipping-policy store-size estimates) as they arrive; run the
+        simulator to let the sweep finish.  This is the paper's offline
+        statistics collection.
+        """
+        if self.engine is None:
+            raise BestPeerError(f"node {self.name} must join before discovery")
+        self.engine.dispatch(
+            DiscoveryAgent(), ttl=ttl if ttl is not None else self.config.ttl
+        )
+
+    def _on_discovery_report(self, packet: Packet) -> None:
+        report: ContentReport = packet.payload
+        self.knowledge.record(report, self.sim.now)
+        self.record_store_size(report.responder, report.total_bytes)
+        self.tracer.record(
+            self.sim.now,
+            "node",
+            "discovery-report",
+            node=self.name,
+            peer=str(report.responder),
+            objects=report.object_count,
+        )
+
+    # -- smart queries: code-shipping vs data-shipping ---------------------------------
+
+    def smart_query(
+        self,
+        keyword: str,
+        on_answer: Callable[[QueryHandle, AnswerMessage], None] | None = None,
+        on_finish: Callable[[QueryHandle], None] | None = None,
+    ) -> QueryHandle:
+        """Single-hop query with a per-peer shipping decision.
+
+        The paper's future-work optimizer: for each direct peer, the
+        configured :class:`~repro.core.shipping.ShippingPolicy` decides
+        whether to ship the *agent* to the data or to ship (or reuse a
+        cached copy of) the *data* to the query.  Unlike
+        :meth:`issue_query`, this only consults direct peers - it is a
+        local-optimization primitive, not a network-wide flood.
+        """
+        if self.engine is None:
+            raise BestPeerError(f"node {self.name} must join before querying")
+        query_id = QueryId(self.bpid, self._query_serials.next())
+        handle = QueryHandle(
+            query_id=query_id,
+            keyword=keyword,
+            issued_at=self.sim.now,
+            on_answer=on_answer,
+            on_finish=on_finish,
+        )
+        self._queries[query_id] = handle
+        if self.config.search_own_store:
+            handle.local_result = self.storm.search_scan(keyword)
+        code_targets: list[IPAddress] = []
+        for peer in self.peers.entries():
+            estimate = self._estimates.setdefault(peer.bpid, PeerEstimate())
+            estimate.queries_seen += 1
+            estimate.cached = peer.bpid in self._data_cache
+            choice = self.shipping.choose(estimate)
+            self.tracer.record(
+                self.sim.now,
+                "node",
+                "shipping-choice",
+                node=self.name,
+                peer=str(peer.bpid),
+                choice=choice,
+            )
+            if choice == CODE:
+                code_targets.append(peer.address)
+            elif estimate.cached:
+                self._answer_from_cache(handle, peer.bpid, peer.address)
+            else:
+                token = self._fetch_tokens.next()
+                self._pending_data[token] = (peer.bpid, handle)
+                self.host.send(peer.address, PROTO_DATA_REQUEST, DataRequest(token))
+        if code_targets:
+            agent = StorMSearchAgent(
+                keyword,
+                mode="metadata" if self.config.result_mode == MODE_METADATA else "direct",
+                use_index=self.config.use_index,
+            )
+            self.engine.dispatch(agent, query_id=query_id, ttl=1, targets=code_targets)
+        return handle
+
+    def record_store_size(self, bpid: BPID, store_bytes: int) -> None:
+        """Feed a peer's observed store size into the shipping estimates
+        (typically learned by a discovery agent)."""
+        estimate = self._estimates.setdefault(bpid, PeerEstimate())
+        estimate.store_bytes = store_bytes
+
+    def invalidate_data_cache(self, bpid: BPID | None = None) -> None:
+        """Drop cached peer datasets (all of them when ``bpid`` is None)."""
+        if bpid is None:
+            self._data_cache.clear()
+        else:
+            self._data_cache.pop(bpid, None)
+
+    def has_cached_data(self, bpid: BPID) -> bool:
+        """True when this node mirrors ``bpid``'s dataset locally."""
+        return bpid in self._data_cache
+
+    def _answer_from_cache(
+        self, handle: QueryHandle, bpid: BPID, address: IPAddress
+    ) -> None:
+        """Evaluate a query against a locally cached peer dataset."""
+        from repro.agents.messages import AnswerItem
+        from repro.storm.heapfile import RecordId
+        from repro.storm.objects import normalize_keyword
+
+        objects = self._data_cache[bpid]
+        needle = normalize_keyword(handle.keyword)
+        items = []
+        for position, (keywords, payload) in enumerate(objects):
+            if needle in keywords:
+                items.append(
+                    AnswerItem(
+                        rid=RecordId(0, position % 0xFFFF),
+                        keywords=tuple(keywords),
+                        size=len(payload),
+                        payload=payload,
+                    )
+                )
+        # Local evaluation still costs CPU time proportional to the scan.
+        service = len(objects) * self.config.agent_costs.object_match_time
+        answer = AnswerMessage(
+            query_id=handle.query_id,
+            responder=bpid,
+            responder_address=address,
+            hops=0,  # answered from the local cache
+            items=tuple(items),
+        )
+        self.host.cpu.submit(service, self._record_cache_answer, handle, answer)
+
+    def _record_cache_answer(self, handle: QueryHandle, answer: AnswerMessage) -> None:
+        if not handle.finished and answer.items:
+            handle.record_answer(answer, self.sim.now)
+
+    def _on_data_request(self, packet: Packet) -> None:
+        request: DataRequest = packet.payload
+        objects = tuple(
+            (obj.keywords, obj.payload) for _rid, obj in self.storm.scan()
+        )
+        # Reading the whole store out costs a full scan's worth of CPU.
+        service = self.storm.count * self.config.agent_costs.object_match_time
+        reply = DataReply(request.token, objects)
+        self.host.cpu.submit(service, self._send_data_reply, packet.src, reply)
+
+    def _send_data_reply(self, dst: IPAddress, reply: DataReply) -> None:
+        if self.host.online:
+            self.host.send(dst, PROTO_DATA_REPLY, reply)
+
+    def _on_data_reply(self, packet: Packet) -> None:
+        reply: DataReply = packet.payload
+        pending = self._pending_data.pop(reply.token, None)
+        if pending is None:
+            return
+        bpid, handle = pending
+        self._data_cache[bpid] = list(reply.objects)
+        estimate = self._estimates.setdefault(bpid, PeerEstimate())
+        estimate.store_bytes = reply.total_bytes
+        estimate.cached = True
+        peer = self.peers.get(bpid)
+        address = peer.address if peer is not None else packet.src
+        if not handle.finished:
+            self._answer_from_cache(handle, bpid, address)
+
+    # -- out-of-network downloads (result mode 2) -------------------------------------
+
+    def fetch(
+        self,
+        holder: IPAddress,
+        rid: RecordId,
+        callback: Callable[[FetchReply | None], None],
+    ) -> None:
+        """Fetch one object directly from its holder (None on timeout)."""
+        token = self._fetch_tokens.next()
+        self._pending_fetches[token] = callback
+        self.host.send(holder, PROTO_FETCH, FetchRequest(token, rid))
+        self.sim.schedule(self.config.fetch_timeout, self._expire_fetch, token)
+
+    def _on_fetch(self, packet: Packet) -> None:
+        request: FetchRequest = packet.payload
+        try:
+            obj = self.storm.get(request.rid)
+            reply = FetchReply(request.token, request.rid, obj.payload, found=True)
+        except Exception:  # removed/updated during the delay - Section 2
+            reply = FetchReply(request.token, request.rid, None, found=False)
+        self.host.send(packet.src, PROTO_FETCH_REPLY, reply)
+
+    def _on_fetch_reply(self, packet: Packet) -> None:
+        reply: FetchReply = packet.payload
+        callback = self._pending_fetches.pop(reply.token, None)
+        if callback is not None:
+            callback(reply)
+
+    def _expire_fetch(self, token: int) -> None:
+        callback = self._pending_fetches.pop(token, None)
+        if callback is not None:
+            callback(None)
+
+    # -- active objects ---------------------------------------------------------------------
+
+    def request_active(
+        self,
+        owner: IPAddress,
+        name: str,
+        credential: str,
+        callback: Callable[[ActiveReply | None], None],
+    ) -> None:
+        """Ask a peer's active object for content under ``credential``."""
+        token = self._fetch_tokens.next()
+        self._pending_actives[token] = callback
+        request = ActiveRequest(token, name, self.bpid, credential)
+        self.host.send(owner, PROTO_ACTIVE, request)
+        self.sim.schedule(self.config.fetch_timeout, self._expire_active, token)
+
+    def _on_active(self, packet: Packet) -> None:
+        request: ActiveRequest = packet.payload
+        obj = self.catalog.get(request.name)
+        if obj is None:
+            reply = ActiveReply(
+                request.token, request.name, None, granted=False, reason="no such object"
+            )
+        else:
+            try:
+                content = obj.render(request.requester, request.credential)
+                reply = ActiveReply(request.token, request.name, content, granted=True)
+            except AccessDeniedError as exc:
+                reply = ActiveReply(
+                    request.token, request.name, None, granted=False, reason=str(exc)
+                )
+        self.host.send(packet.src, PROTO_ACTIVE_REPLY, reply)
+
+    def _on_active_reply(self, packet: Packet) -> None:
+        reply: ActiveReply = packet.payload
+        callback = self._pending_actives.pop(reply.token, None)
+        if callback is not None:
+            callback(reply)
+
+    def _expire_active(self, token: int) -> None:
+        callback = self._pending_actives.pop(token, None)
+        if callback is not None:
+            callback(None)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def statistics(self) -> dict[str, int]:
+        """Operational counters for monitoring and tests."""
+        stats = {
+            "queries_issued": len(self._queries),
+            "answers_received": sum(
+                len(handle.answers) for handle in self._queries.values()
+            ),
+            "messages_sent": self.host.messages_sent,
+            "messages_received": self.host.messages_received,
+            "bytes_sent": self.host.bytes_sent,
+            "shared_objects": self.storm.count,
+            "direct_peers": len(self.peers),
+            "cached_peer_datasets": len(self._data_cache),
+            "known_hosts": len(self.knowledge),
+        }
+        if self.engine is not None:
+            stats["agents_executed"] = self.engine.agents_executed
+            stats["agents_deduped"] = self.engine.agents_deduped
+        return stats
+
+    def __repr__(self) -> str:
+        identity = str(self.engine.local_bpid) if self.engine else "unjoined"
+        return f"BestPeerNode({self.name}, {identity}, peers={len(self.peers)})"

@@ -1,0 +1,101 @@
+"""The direct-peer table.
+
+Holds at most ``max_peers`` (the node's ``k``) entries, each mapping a
+peer's permanent BPID to its last known IP address plus the statistics
+the reconfiguration strategies feed on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import PeerTableError
+from repro.ids import BPID
+from repro.net.address import IPAddress
+
+
+@dataclass
+class PeerInfo:
+    """One direct peer, as this node knows it."""
+
+    bpid: BPID
+    address: IPAddress
+    added_at: float = 0.0
+    #: answers in the most recently finished query
+    last_answers: int = 0
+    #: hops distance piggybacked with the most recent answers
+    last_hops: int | None = None
+    #: lifetime answer total across queries
+    total_answers: int = 0
+
+
+@dataclass
+class PeerTable:
+    """Bounded mapping of direct peers."""
+
+    max_peers: int
+    _entries: dict[BPID, PeerInfo] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.max_peers < 1:
+            raise PeerTableError(f"max_peers must be >= 1, got {self.max_peers}")
+
+    def add(self, bpid: BPID, address: IPAddress, now: float = 0.0) -> None:
+        """Add a direct peer; errors when full or duplicate."""
+        if bpid in self._entries:
+            raise PeerTableError(f"{bpid} is already a direct peer")
+        if len(self._entries) >= self.max_peers:
+            raise PeerTableError(
+                f"peer table is full ({self.max_peers}); reconfigure instead"
+            )
+        self._entries[bpid] = PeerInfo(bpid=bpid, address=address, added_at=now)
+
+    def remove(self, bpid: BPID) -> None:
+        """Drop a direct peer."""
+        if bpid not in self._entries:
+            raise PeerTableError(f"{bpid} is not a direct peer")
+        del self._entries[bpid]
+
+    def replace_all(self, peers: list[PeerInfo]) -> None:
+        """Install a whole new peer set (the reconfiguration commit)."""
+        if len(peers) > self.max_peers:
+            raise PeerTableError(
+                f"{len(peers)} peers exceed the table capacity {self.max_peers}"
+            )
+        bpids = [peer.bpid for peer in peers]
+        if len(set(bpids)) != len(bpids):
+            raise PeerTableError("duplicate BPIDs in replacement peer set")
+        self._entries = {peer.bpid: peer for peer in peers}
+
+    def update_address(self, bpid: BPID, address: IPAddress) -> None:
+        """Record a peer's new IP (learned from LIGLO or an answer)."""
+        entry = self._entries.get(bpid)
+        if entry is None:
+            raise PeerTableError(f"{bpid} is not a direct peer")
+        entry.address = address
+
+    # -- queries -----------------------------------------------------------------
+
+    def __contains__(self, bpid: BPID) -> bool:
+        return bpid in self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, bpid: BPID) -> PeerInfo | None:
+        return self._entries.get(bpid)
+
+    def entries(self) -> list[PeerInfo]:
+        """All peers, in insertion order."""
+        return list(self._entries.values())
+
+    def bpids(self) -> list[BPID]:
+        return list(self._entries)
+
+    def addresses(self) -> list[IPAddress]:
+        """Current addresses of all direct peers (the broadcast fan-out)."""
+        return [entry.address for entry in self._entries.values()]
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.max_peers

@@ -1,0 +1,125 @@
+"""Query lifecycle at the initiating node.
+
+A :class:`QueryHandle` accumulates the answers that flow straight back
+from responders, with arrival timestamps (the raw material for the
+paper's response-rate and answer-quantity figures), and — once the
+query is *finished* — yields the per-candidate observations the
+reconfiguration strategy ranks.
+
+Completion is externally decided: a P2P node cannot know when the last
+answer has arrived ("the users have no idea of which peers will be
+providing the answers"), so either the application calls
+``node.finish_query`` (experiments use an oracle), or the node finishes
+the query automatically after a quiet period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.agents.messages import AnswerMessage
+from repro.errors import QueryError
+from repro.ids import BPID, QueryId
+from repro.storm.store import SearchResult
+
+
+@dataclass
+class QueryHandle:
+    """One outstanding (or finished) query at its initiator."""
+
+    query_id: QueryId
+    keyword: str
+    issued_at: float
+    #: network answers in arrival order
+    answers: list[AnswerMessage] = field(default_factory=list)
+    #: simulated arrival time of each answer (parallel to ``answers``)
+    arrival_times: list[float] = field(default_factory=list)
+    #: result of searching the initiator's own store (if configured)
+    local_result: SearchResult | None = None
+    finished: bool = False
+    finished_at: float | None = None
+    #: called with (handle, answer) on every arrival
+    on_answer: Callable[["QueryHandle", AnswerMessage], None] | None = None
+    #: called with (handle,) when the query finishes
+    on_finish: Callable[["QueryHandle"], None] | None = None
+
+    # -- accumulation (called by the node) -----------------------------------------
+
+    def record_answer(self, answer: AnswerMessage, now: float) -> None:
+        if self.finished:
+            raise QueryError(f"{self.query_id} is finished; late answer dropped")
+        self.answers.append(answer)
+        self.arrival_times.append(now)
+        if self.on_answer is not None:
+            self.on_answer(self, answer)
+
+    def mark_finished(self, now: float) -> None:
+        if self.finished:
+            raise QueryError(f"{self.query_id} is already finished")
+        self.finished = True
+        self.finished_at = now
+        if self.on_finish is not None:
+            self.on_finish(self)
+
+    # -- results -----------------------------------------------------------------------
+
+    @property
+    def responders(self) -> set[BPID]:
+        """Every node that returned at least one answer."""
+        return {answer.responder for answer in self.answers}
+
+    @property
+    def network_answer_count(self) -> int:
+        """Total answers from the network (excludes the local store)."""
+        return sum(answer.answer_count for answer in self.answers)
+
+    @property
+    def total_answer_count(self) -> int:
+        """Network answers plus local-store matches."""
+        local = self.local_result.match_count if self.local_result else 0
+        return self.network_answer_count + local
+
+    @property
+    def distinct_payload_count(self) -> int:
+        """Distinct object payloads among the network answers.
+
+        With replication the same object arrives from several holders;
+        this deduplicates by payload bytes.  Only meaningful in result
+        mode 1 (direct) — metadata answers carry no payloads and each
+        counts as distinct.
+        """
+        seen: set[bytes] = set()
+        placeholder = 0
+        for answer in self.answers:
+            for item in answer.items:
+                if item.payload is None:
+                    placeholder += 1
+                else:
+                    seen.add(item.payload)
+        return len(seen) + placeholder
+
+    @property
+    def last_arrival(self) -> float | None:
+        """Arrival time of the most recent answer (None before any)."""
+        return self.arrival_times[-1] if self.arrival_times else None
+
+    @property
+    def completion_time(self) -> float | None:
+        """Time from issue to the last received answer."""
+        if self.last_arrival is None:
+            return None
+        return self.last_arrival - self.issued_at
+
+    def arrivals(self) -> list[tuple[float, AnswerMessage]]:
+        """(arrival time, answer) pairs in arrival order."""
+        return list(zip(self.arrival_times, self.answers))
+
+    def answers_by_responder(self) -> dict[BPID, int]:
+        """Total answer count per responder."""
+        counts: dict[BPID, int] = {}
+        for answer in self.answers:
+            counts[answer.responder] = (
+                counts.get(answer.responder, 0) + answer.answer_count
+            )
+        return counts

@@ -1,0 +1,163 @@
+"""Exception hierarchy for the BestPeer reproduction.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch the whole family with a single ``except`` clause while
+still being able to discriminate by subsystem.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every exception raised by this library."""
+
+
+# ---------------------------------------------------------------------------
+# Simulation kernel
+# ---------------------------------------------------------------------------
+
+
+class SimulationError(ReproError):
+    """Base class for discrete-event simulator errors."""
+
+
+class SchedulingError(SimulationError):
+    """An event was scheduled in the past or on a stopped simulator."""
+
+
+class ProcessError(SimulationError):
+    """A coroutine process yielded an unsupported command."""
+
+
+# ---------------------------------------------------------------------------
+# Network substrate
+# ---------------------------------------------------------------------------
+
+
+class NetworkError(ReproError):
+    """Base class for network substrate errors."""
+
+
+class AddressPoolExhausted(NetworkError):
+    """The DHCP-like address pool has no free addresses left."""
+
+
+class HostOffline(NetworkError):
+    """An operation required an online host but it was offline."""
+
+
+class UnknownProtocolError(NetworkError):
+    """A packet arrived for a protocol the host has no handler for."""
+
+
+class DeliveryError(NetworkError):
+    """A packet could not be delivered (stale address, offline host)."""
+
+
+# ---------------------------------------------------------------------------
+# StorM storage manager
+# ---------------------------------------------------------------------------
+
+
+class StormError(ReproError):
+    """Base class for StorM storage manager errors."""
+
+
+class PageError(StormError):
+    """Malformed page, bad slot, or out-of-range page id."""
+
+
+class BufferError_(StormError):
+    """Buffer manager misuse (e.g. unpinning an unpinned page)."""
+
+
+class BufferFullError(BufferError_):
+    """Every frame is pinned; no page can be evicted."""
+
+
+class RecordNotFound(StormError):
+    """No record exists at the requested object id."""
+
+
+class StorageClosedError(StormError):
+    """Operation attempted on a closed store."""
+
+
+# ---------------------------------------------------------------------------
+# Mobile agents
+# ---------------------------------------------------------------------------
+
+
+class AgentError(ReproError):
+    """Base class for mobile agent framework errors."""
+
+
+class CodeShippingError(AgentError):
+    """Agent class source could not be extracted, shipped, or loaded."""
+
+
+class AgentExpiredError(AgentError):
+    """An agent with TTL <= 0 was asked to travel further."""
+
+
+# ---------------------------------------------------------------------------
+# LIGLO
+# ---------------------------------------------------------------------------
+
+
+class LigloError(ReproError):
+    """Base class for LIGLO name server errors."""
+
+
+class LigloFullError(LigloError):
+    """The LIGLO server reached its membership capacity."""
+
+
+class UnknownBPIDError(LigloError):
+    """The BPID is not registered with this LIGLO server."""
+
+
+class NotRegisteredError(LigloError):
+    """A node attempted an operation that requires prior registration."""
+
+
+# ---------------------------------------------------------------------------
+# BestPeer core
+# ---------------------------------------------------------------------------
+
+
+class BestPeerError(ReproError):
+    """Base class for BestPeer node errors."""
+
+
+class PeerTableError(BestPeerError):
+    """Peer table misuse (duplicate peer, bad capacity, ...)."""
+
+
+class QueryError(BestPeerError):
+    """Query lifecycle misuse (e.g. collecting a closed query)."""
+
+
+class SharingError(BestPeerError):
+    """Resource-sharing failure (missing share, access denied, ...)."""
+
+
+class AccessDeniedError(SharingError):
+    """An active object refused access for the requester's access level."""
+
+
+# ---------------------------------------------------------------------------
+# Topologies / workloads / evaluation
+# ---------------------------------------------------------------------------
+
+
+class TopologyError(ReproError):
+    """Invalid topology specification."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload specification."""
+
+
+class ExperimentError(ReproError):
+    """Experiment harness misuse or inconsistent results."""

@@ -1,0 +1,270 @@
+"""The paper's claims, as executable checks.
+
+Section 4 makes a set of qualitative claims ("SCS performs worse...",
+"BP outperforms Gnutella in all runs").  Each is a :class:`Claim` here:
+a quote, the figure it belongs to, and a predicate over the reproduced
+:class:`~repro.eval.experiment.FigureResult`.  ``verify_figure`` checks
+one figure; ``verify_all`` produces the ✓/✗ table EXPERIMENTS.md is
+built from; the CLI exposes it as ``python -m repro verify``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.eval.analysis import (
+    crossover,
+    dominates,
+    growth_factor,
+    is_flat,
+)
+from repro.eval.experiment import FigureResult
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One verifiable statement from the paper."""
+
+    claim_id: str
+    figure: str
+    quote: str
+    check: Callable[[FigureResult], bool]
+
+    def holds(self, result: FigureResult) -> bool:
+        """Evaluate against a reproduced figure (False on any failure)."""
+        try:
+            return bool(self.check(result))
+        except ExperimentError:
+            return False
+
+
+def _scs_degenerates(result: FigureResult) -> bool:
+    # Skip the degenerate single-node point (everything is ~0 there).
+    positive = [value for value in result.y_values("SCS") if value > 0]
+    return len(positive) >= 2 and growth_factor(positive) > 5.0
+
+
+def _parallel_schemes_beat_scs(result: FigureResult) -> bool:
+    mcs = dict(result.series_named("CS"))
+    ratios = [
+        scs_y / mcs[x]
+        for x, scs_y in result.series_named("SCS")
+        if x in mcs and mcs[x] > 0
+    ]
+    # "Significantly" at scale: the larger networks show >2x at least.
+    return len(ratios) >= 2 and all(ratio > 2.0 for ratio in ratios[2:])
+
+
+def _mcs_gain_not_significant(result: FigureResult) -> bool:
+    return all(
+        abs(m - b) <= 0.15 * max(m, b, 1e-12)
+        for m, b in zip(result.y_values("CS"), result.y_values("BPS"))
+    )
+
+
+def _bps_equals_bpr_on_star(result: FigureResult) -> bool:
+    return all(
+        abs(left - right) <= 0.05 * max(left, right, 1e-12)
+        for left, right in zip(result.y_values("BPS"), result.y_values("BPR"))
+    )
+
+
+def _cs_wins_level_1(result: FigureResult) -> bool:
+    return result.y_values("CS")[0] < result.y_values("BPS")[0]
+
+
+def _cs_degenerates_with_depth(result: FigureResult) -> bool:
+    cs = result.y_values("CS")
+    bps = result.y_values("BPS")
+    return cs[-1] > bps[-1] and growth_factor(cs) > growth_factor(bps)
+
+
+def _bpr_best_bp_scheme(result: FigureResult) -> bool:
+    return dominates(result, "BPR", "BPS", slack=0.02)
+
+
+def _bpr_beats_cs_except_tiny(result: FigureResult) -> bool:
+    cross = crossover(result, "CS", "BPR")
+    return cross is not None and cross <= result.series_named("CS")[1][0]
+
+
+def _cs_fast_first_slow_tail(result: FigureResult) -> bool:
+    cs = result.series_named("CS")
+    bps = result.series_named("BPS")
+    return cs[0][1] <= bps[0][1] and cs[-1][1] > bps[-1][1]
+
+
+def _gnutella_flat_across_runs(result: FigureResult) -> bool:
+    return is_flat(result.y_values("Gnutella"), tolerance=0.1)
+
+
+def _bp_first_run_highest(result: FigureResult) -> bool:
+    bp = result.y_values("BP")
+    return bp[0] > bp[1] and bp[0] > bp[-1]
+
+
+def _bp_beats_gnutella_all_runs(result: FigureResult) -> bool:
+    return dominates(result, "BP", "Gnutella") and all(
+        b < g for b, g in zip(result.y_values("BP"), result.y_values("Gnutella"))
+    )
+
+
+def _both_improve_with_peers(result: FigureResult) -> bool:
+    bp = result.y_values("BP")
+    gnutella = result.y_values("Gnutella")
+    return bp[-1] < bp[0] and gnutella[-1] < gnutella[0]
+
+
+def _bp_remains_superior(result: FigureResult) -> bool:
+    return all(
+        b < g for b, g in zip(result.y_values("BP"), result.y_values("Gnutella"))
+    )
+
+
+#: All claims, keyed by the figure that carries their evidence.
+CLAIMS: dict[str, tuple[Claim, ...]] = {
+    "5a": (
+        Claim(
+            "5a-scs",
+            "Figure 5(a)",
+            "the Single-Thread CS performs worse than the other models",
+            _scs_degenerates,
+        ),
+        Claim(
+            "5a-parallel",
+            "Figure 5(a)",
+            "both MCS and BP-based schemes outperform SCS significantly",
+            _parallel_schemes_beat_scs,
+        ),
+        Claim(
+            "5a-mcs",
+            "Figure 5(a)",
+            "MCS is slightly better than BPS/BPR but the gain is not "
+            "significant enough to be visible",
+            _mcs_gain_not_significant,
+        ),
+        Claim(
+            "5a-static",
+            "Figure 5(a)",
+            "BPS and BPR show similar performance (nothing to reconfigure)",
+            _bps_equals_bpr_on_star,
+        ),
+    ),
+    "5b": (
+        Claim(
+            "5b-level1",
+            "Figure 5(b)",
+            "when the number of levels is 1, CS is superior",
+            _cs_wins_level_1,
+        ),
+        Claim(
+            "5b-depth",
+            "Figure 5(b)",
+            "as the number of levels increases, CS begans to degenerate",
+            _cs_degenerates_with_depth,
+        ),
+        Claim(
+            "5b-bpr",
+            "Figure 5(b)",
+            "BPR outperforms BPS by virtue of ... a more optimal network",
+            _bpr_best_bp_scheme,
+        ),
+    ),
+    "5c": (
+        Claim(
+            "5c-bpr",
+            "Figure 5(c)",
+            "BPR is the best",
+            _bpr_best_bp_scheme,
+        ),
+        Claim(
+            "5c-crossover",
+            "Figure 5(c)",
+            "BPR outperforms CS for most cases (except when the number "
+            "of nodes is very small)",
+            _bpr_beats_cs_except_tiny,
+        ),
+    ),
+    "6": (
+        Claim(
+            "6-bpr",
+            "Figure 6",
+            "BPR is still the best scheme, outperforming BPS",
+            _bpr_best_bp_scheme,
+        ),
+        Claim(
+            "6-cs-tail",
+            "Figure 6",
+            "except for the first few nodes, CS returns answers much "
+            "slower than BPR/BPS",
+            _cs_fast_first_slow_tail,
+        ),
+    ),
+    "8a": (
+        Claim(
+            "8a-flat",
+            "Figure 8(a)",
+            "Gnutella is essentially not affected by the number of times "
+            "the query is run",
+            _gnutella_flat_across_runs,
+        ),
+        Claim(
+            "8a-first",
+            "Figure 8(a)",
+            "for the first search, BP also need to route through the "
+            "entire intermediate peers (first run is the highest)",
+            _bp_first_run_highest,
+        ),
+        Claim(
+            "8a-wins",
+            "Figure 8(a)",
+            "BP outperforms Gnutella in all runs",
+            _bp_beats_gnutella_all_runs,
+        ),
+    ),
+    "8b": (
+        Claim(
+            "8b-improve",
+            "Figure 8(b)",
+            "Gnutella's performance also improves with more peers",
+            _both_improve_with_peers,
+        ),
+        Claim(
+            "8b-superior",
+            "Figure 8(b)",
+            "as the number of directly connected peers increases, BP "
+            "remains superior",
+            _bp_remains_superior,
+        ),
+    ),
+}
+
+
+def verify_figure(key: str, result: FigureResult) -> list[tuple[Claim, bool]]:
+    """Evaluate every claim attached to one figure key."""
+    try:
+        claims = CLAIMS[key]
+    except KeyError:
+        known = ", ".join(sorted(CLAIMS))
+        raise ExperimentError(f"no claims for figure {key!r}; known: {known}") from None
+    return [(claim, claim.holds(result)) for claim in claims]
+
+
+def verify_all(results: dict[str, FigureResult]) -> str:
+    """Render a ✓/✗ report over every figure present in ``results``."""
+    lines = []
+    passed = 0
+    total = 0
+    for key in sorted(CLAIMS):
+        result = results.get(key)
+        if result is None:
+            continue
+        for claim, holds in verify_figure(key, result):
+            total += 1
+            passed += holds
+            mark = "PASS" if holds else "FAIL"
+            lines.append(f"[{mark}] {claim.figure}: {claim.quote}")
+    lines.append(f"\n{passed}/{total} paper claims hold")
+    return "\n".join(lines)

@@ -1,0 +1,61 @@
+"""Experiment scaffolding: repeated runs and figure-shaped results."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import ExperimentError
+from repro.util.stats import RunningStats
+
+
+@dataclass
+class FigureResult:
+    """A reproduced figure: named series of (x, y) points."""
+
+    figure: str
+    title: str
+    x_label: str
+    y_label: str
+    series: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+    notes: str = ""
+
+    def add_point(self, name: str, x: float, y: float) -> None:
+        self.series.setdefault(name, []).append((x, y))
+
+    def series_named(self, name: str) -> list[tuple[float, float]]:
+        try:
+            return self.series[name]
+        except KeyError:
+            known = ", ".join(sorted(self.series))
+            raise ExperimentError(f"no series {name!r}; known: {known}") from None
+
+    def y_values(self, name: str) -> list[float]:
+        return [y for _, y in self.series_named(name)]
+
+
+class ExperimentRunner:
+    """Runs a measurement callable across repetitions and aggregates.
+
+    The paper: "the results presented correspond to the average of at
+    least three different executions.  The variance across different
+    executions was not significant."  Each repetition gets its own seed
+    so workload randomness differs while staying reproducible.
+    """
+
+    def __init__(self, repetitions: int = 3, base_seed: int = 0):
+        if repetitions < 1:
+            raise ExperimentError(f"repetitions must be >= 1, got {repetitions}")
+        self.repetitions = repetitions
+        self.base_seed = base_seed
+
+    def measure(self, run: Callable[[int], float]) -> RunningStats:
+        """Call ``run(seed)`` once per repetition; aggregate the floats."""
+        stats = RunningStats()
+        for repetition in range(self.repetitions):
+            stats.add(run(self.base_seed + repetition))
+        return stats
+
+    def collect(self, run: Callable[[int], object]) -> list:
+        """Call ``run(seed)`` per repetition; return all results."""
+        return [run(self.base_seed + rep) for rep in range(self.repetitions)]

@@ -1,0 +1,467 @@
+"""One experiment definition per figure of the paper's Section 4.
+
+Every public ``figure_*`` function builds the systems from scratch,
+drives the workload, and returns a :class:`FigureResult` whose series
+mirror the corresponding figure:
+
+========  ==========================================================
+figure    content
+========  ==========================================================
+``5(a)``  Star topology: completion time vs. network size
+          (SCS / MCS / BPS / BPR)
+``5(b)``  Tree topology: completion time vs. tree level (CS/BPS/BPR)
+``5(c)``  Line topology: completion time vs. network size
+``6``     rate at which answers return: (K responders, T) curves
+``7``     cumulative answers vs. time
+``8(a)``  BP vs. Gnutella: completion per repeated run of one query
+``8(b)``  BP vs. Gnutella: completion vs. number of direct peers
+========  ==========================================================
+
+Absolute times are simulator outputs under the documented cost model,
+not the authors' Pentium-II milliseconds; the *shapes* are the
+reproduction target (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.agents.costs import AgentCosts
+from repro.baselines.client_server import (
+    VARIANT_MCS,
+    VARIANT_SCS,
+    build_cs_network,
+)
+from repro.baselines.gnutella import build_gnutella_network
+from repro.core.builder import build_network
+from repro.core.config import BestPeerConfig
+from repro.errors import ExperimentError
+from repro.eval.experiment import FigureResult
+from repro.eval.metrics import (
+    Arrival,
+    answer_curve,
+    average_answer_curves,
+    average_curves,
+    completion_time,
+    response_curve,
+)
+from repro.topology.builders import Topology, line, random_graph, star, tree
+from repro.workloads.corpus import KeywordCorpus, generate_objects
+from repro.workloads.placement import AnswerPlacement
+
+#: Scheme labels as the paper uses them.
+SCHEME_SCS = "SCS"
+SCHEME_MCS = "CS"  # after Fig 5(a) the paper calls MCS simply "CS"
+SCHEME_BPS = "BPS"
+SCHEME_BPR = "BPR"
+
+
+@dataclass(frozen=True)
+class FigureParams:
+    """Shared experiment parameters (paper-faithful defaults).
+
+    Scale down ``objects_per_node`` for quick smoke runs; every figure
+    function accepts the same params object.
+    """
+
+    #: "each node stores 1000 objects in StorM"
+    objects_per_node: int = 1000
+    #: "all objects to be of the same size - 1K bytes"
+    object_size: int = 1024
+    #: distinct keywords in the synthetic vocabulary
+    corpus_size: int = 100
+    #: "A search query is issued four times"
+    queries: int = 4
+    seed: int = 0
+    #: the reconfigurable base node's peer cap ("up to 8 directly
+    #: connected peers" in the Gnutella comparison)
+    k_base: int = 8
+    #: scan every store once before measuring, so cold-cache page I/O
+    #: (identical across schemes) does not drown the protocol effects
+    warm_buffers: bool = True
+    costs: AgentCosts = field(default_factory=AgentCosts)
+
+    def __post_init__(self) -> None:
+        if self.objects_per_node < 0:
+            raise ExperimentError("objects_per_node must be >= 0")
+        if self.queries < 1:
+            raise ExperimentError("queries must be >= 1")
+
+
+def _query_keyword(params: FigureParams) -> str:
+    """The keyword every node holds matches for (topology experiments)."""
+    return KeywordCorpus(params.corpus_size).keyword(0)
+
+
+# ---------------------------------------------------------------------------
+# Trial runners: one query workload against one built system
+# ---------------------------------------------------------------------------
+
+
+def _bestpeer_runs(
+    topology: Topology,
+    reconfigurable: bool,
+    params: FigureParams,
+    keyword: str | None = None,
+    placement: AnswerPlacement | None = None,
+    strategy: str | None = None,
+    result_mode: str = "direct",
+    codec=None,
+    ttl: int | None = None,
+) -> list[list[Arrival]]:
+    """Run ``params.queries`` repeated queries on a BestPeer deployment.
+
+    Returns per-run arrival lists (times relative to each query issue).
+    ``reconfigurable`` selects BPR (MaxCount unless ``strategy`` says
+    otherwise) vs. BPS (static peers).
+    """
+    chosen_strategy = strategy or ("maxcount" if reconfigurable else "static")
+    ttl = ttl if ttl is not None else max(7, topology.node_count)
+    configs = [
+        BestPeerConfig(
+            max_direct_peers=max(topology.degree(i), params.k_base),
+            ttl=ttl,
+            strategy=chosen_strategy,
+            agent_costs=params.costs,
+            search_own_store=False,
+            result_mode=result_mode,
+        )
+        for i in range(topology.node_count)
+    ]
+    deployment = build_network(
+        topology.node_count, config=configs, topology=topology, codec=codec
+    )
+    corpus = KeywordCorpus(params.corpus_size)
+    for index, node in enumerate(deployment.nodes):
+        _load_store(node.storm, index, params, corpus, placement)
+    keyword = keyword if keyword is not None else _query_keyword(params)
+    runs: list[list[Arrival]] = []
+    for _ in range(params.queries):
+        handle = deployment.base.issue_query(keyword)
+        deployment.sim.run()
+        runs.append(
+            [
+                Arrival(t - handle.issued_at, str(a.responder), a.answer_count)
+                for t, a in handle.arrivals()
+            ]
+        )
+        deployment.base.finish_query(handle)
+    return runs
+
+
+def _cs_runs(
+    topology: Topology,
+    variant: str,
+    params: FigureParams,
+    keyword: str | None = None,
+    placement: AnswerPlacement | None = None,
+) -> list[list[Arrival]]:
+    """Run repeated queries against an SCS/MCS deployment."""
+    deployment = build_cs_network(topology, variant, costs=params.costs)
+    corpus = KeywordCorpus(params.corpus_size)
+    for index, node in enumerate(deployment.nodes):
+        _load_store(node.storm, index, params, corpus, placement)
+    keyword = keyword if keyword is not None else _query_keyword(params)
+    runs = []
+    for _ in range(params.queries):
+        handle = deployment.base.issue_query(keyword, search_own_store=False)
+        deployment.sim.run()
+        runs.append(
+            [
+                Arrival(t - handle.issued_at, responder, count)
+                for t, responder, count in handle.arrivals
+            ]
+        )
+    return runs
+
+
+def _gnutella_runs(
+    topology: Topology,
+    params: FigureParams,
+    keyword: str,
+    placement: AnswerPlacement | None = None,
+) -> list[list[Arrival]]:
+    """Run repeated queries against a Gnutella deployment."""
+    deployment = build_gnutella_network(topology, costs=params.costs)
+    corpus = KeywordCorpus(params.corpus_size)
+    for index, servent in enumerate(deployment.servents):
+        _load_store(servent.storm, index, params, corpus, placement)
+    runs = []
+    for _ in range(params.queries):
+        handle = deployment.base.issue_query(keyword, ttl=max(7, topology.node_count))
+        deployment.sim.run()
+        runs.append(
+            [
+                Arrival(t - handle.issued_at, responder, count)
+                for t, responder, count in handle.arrivals
+            ]
+        )
+    return runs
+
+
+def _load_store(storm, index, params, corpus, placement) -> None:
+    """Load one node's store: background corpus plus placed answers."""
+    for spec in generate_objects(
+        index,
+        count=params.objects_per_node,
+        size=params.object_size,
+        corpus=corpus,
+        seed=params.seed,
+    ):
+        storm.put(spec.keywords, spec.payload)
+    if placement is not None:
+        for payload in placement.objects_for(index, size=params.object_size):
+            storm.put([placement.keyword], payload)
+    if params.warm_buffers:
+        storm.search_scan(corpus.keyword(0))  # touch every page once
+
+
+def _mean_completion(runs: list[list[Arrival]]) -> float:
+    return sum(completion_time(run) for run in runs) / len(runs)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: completion time on Star / Tree / Line topologies
+# ---------------------------------------------------------------------------
+
+
+def figure_5a(
+    params: FigureParams | None = None,
+    sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 24, 32),
+) -> FigureResult:
+    """Star topology: completion time vs. network size, all four schemes."""
+    params = params if params is not None else FigureParams()
+    result = FigureResult(
+        figure="Figure 5(a)",
+        title="Star topology",
+        x_label="nodes",
+        y_label="completion time (s)",
+        notes="SCS serializes its conversations; MCS/BPS/BPR are parallel.",
+    )
+    for size in sizes:
+        topology = star(size)
+        result.add_point(
+            SCHEME_SCS, size, _mean_completion(_cs_runs(topology, VARIANT_SCS, params))
+        )
+        result.add_point(
+            SCHEME_MCS, size, _mean_completion(_cs_runs(topology, VARIANT_MCS, params))
+        )
+        result.add_point(
+            SCHEME_BPS, size, _mean_completion(_bestpeer_runs(topology, False, params))
+        )
+        result.add_point(
+            SCHEME_BPR, size, _mean_completion(_bestpeer_runs(topology, True, params))
+        )
+    return result
+
+
+def tree_size_for_level(level: int) -> int:
+    """Binary-tree node count per paper level; level 5 uses 48 nodes."""
+    if level < 1:
+        raise ExperimentError(f"tree level must be >= 1, got {level}")
+    full = 2 ** (level + 1) - 1
+    return min(full, 48)  # "we used only 48 nodes instead of 63 for level 5"
+
+
+def figure_5b(
+    params: FigureParams | None = None,
+    levels: tuple[int, ...] = (1, 2, 3, 4, 5),
+) -> FigureResult:
+    """Tree topology: completion time vs. tree level (CS / BPS / BPR)."""
+    params = params if params is not None else FigureParams()
+    result = FigureResult(
+        figure="Figure 5(b)",
+        title="Tree topology",
+        x_label="level",
+        y_label="completion time (s)",
+        notes="CS relays results along the path; BPS/BPR answer directly.",
+    )
+    for level in levels:
+        topology = tree(tree_size_for_level(level), branching=2)
+        result.add_point(
+            SCHEME_MCS, level, _mean_completion(_cs_runs(topology, VARIANT_MCS, params))
+        )
+        result.add_point(
+            SCHEME_BPS, level, _mean_completion(_bestpeer_runs(topology, False, params))
+        )
+        result.add_point(
+            SCHEME_BPR, level, _mean_completion(_bestpeer_runs(topology, True, params))
+        )
+    return result
+
+
+def figure_5c(
+    params: FigureParams | None = None,
+    sizes: tuple[int, ...] = (2, 4, 8, 16, 24, 32),
+) -> FigureResult:
+    """Line topology: completion time vs. network size (CS / BPS / BPR)."""
+    params = params if params is not None else FigureParams()
+    result = FigureResult(
+        figure="Figure 5(c)",
+        title="Line topology",
+        x_label="nodes",
+        y_label="completion time (s)",
+        notes="The base is the left-most node of the chain.",
+    )
+    for size in sizes:
+        topology = line(size)
+        result.add_point(
+            SCHEME_MCS, size, _mean_completion(_cs_runs(topology, VARIANT_MCS, params))
+        )
+        result.add_point(
+            SCHEME_BPS, size, _mean_completion(_bestpeer_runs(topology, False, params))
+        )
+        result.add_point(
+            SCHEME_BPR, size, _mean_completion(_bestpeer_runs(topology, True, params))
+        )
+    return result
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 7: response rate and answer quantity (32-node tree)
+# ---------------------------------------------------------------------------
+
+
+def figures_6_and_7(
+    params: FigureParams | None = None, node_count: int = 32
+) -> tuple[FigureResult, FigureResult]:
+    """Both figures share the same runs: 32 nodes, tree, query issued
+    ``params.queries`` times, per-responder averages across runs."""
+    params = params if params is not None else FigureParams()
+    topology = tree(node_count, branching=2)
+    rate = FigureResult(
+        figure="Figure 6",
+        title="Rate at which answers are returned",
+        x_label="nodes responded (K)",
+        y_label="time (s)",
+        notes=f"{node_count}-node tree; averaged over {params.queries} runs.",
+    )
+    quantity = FigureResult(
+        figure="Figure 7",
+        title="Number of answers returned over time",
+        x_label="time (s)",
+        y_label="cumulative answers",
+        notes=f"{node_count}-node tree; averaged over {params.queries} runs.",
+    )
+    runs_by_scheme = {
+        SCHEME_MCS: _cs_runs(topology, VARIANT_MCS, params),
+        SCHEME_BPS: _bestpeer_runs(topology, False, params),
+        SCHEME_BPR: _bestpeer_runs(topology, True, params),
+    }
+    for scheme, runs in runs_by_scheme.items():
+        averaged_rate = average_curves([response_curve(run) for run in runs])
+        for rank, when in averaged_rate:
+            rate.add_point(scheme, rank, when)
+        averaged_quantity = average_answer_curves([answer_curve(run) for run in runs])
+        for when, count in averaged_quantity:
+            quantity.add_point(scheme, when, count)
+    return rate, quantity
+
+
+def figure_6(params: FigureParams | None = None, node_count: int = 32) -> FigureResult:
+    """Figure 6 alone (runs the shared 6/7 experiment)."""
+    return figures_6_and_7(params, node_count)[0]
+
+
+def figure_7(params: FigureParams | None = None, node_count: int = 32) -> FigureResult:
+    """Figure 7 alone (runs the shared 6/7 experiment)."""
+    return figures_6_and_7(params, node_count)[1]
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: BestPeer vs Gnutella
+# ---------------------------------------------------------------------------
+
+
+def figure_8a(
+    params: FigureParams | None = None,
+    node_count: int = 32,
+    max_peers: int = 8,
+    holder_count: int = 3,
+    answers_per_holder: int = 5,
+) -> FigureResult:
+    """BP vs. Gnutella: completion time per run of the same query.
+
+    Answers are restricted to ``holder_count`` nodes; the overlay is a
+    random graph where each node has up to ``max_peers`` direct peers.
+    """
+    params = params if params is not None else FigureParams()
+    topology = random_graph(node_count, degree=max(2, max_peers // 2), seed=params.seed)
+    placement = AnswerPlacement(
+        node_count=node_count,
+        holder_count=holder_count,
+        answers_per_holder=answers_per_holder,
+        seed=params.seed,
+    )
+    result = FigureResult(
+        figure="Figure 8(a)",
+        title="BestPeer vs Gnutella across repeated runs",
+        x_label="run",
+        y_label="completion time (s)",
+        notes=(
+            f"answers held by {holder_count} of {node_count} nodes; "
+            f"up to {max_peers} direct peers"
+        ),
+    )
+    bp_params = replace(params, k_base=max_peers)
+    # "while BP and Gnutella return results out-of-network, this feature
+    # is not used in the experiment": BP ships match lists, not files.
+    bp_runs = _bestpeer_runs(
+        topology,
+        True,
+        bp_params,
+        keyword=placement.keyword,
+        placement=placement,
+        result_mode="metadata",
+    )
+    gnutella_runs = _gnutella_runs(
+        topology, params, keyword=placement.keyword, placement=placement
+    )
+    for run_index, run in enumerate(bp_runs, start=1):
+        result.add_point("BP", run_index, completion_time(run))
+    for run_index, run in enumerate(gnutella_runs, start=1):
+        result.add_point("Gnutella", run_index, completion_time(run))
+    return result
+
+
+def figure_8b(
+    params: FigureParams | None = None,
+    node_count: int = 32,
+    peer_counts: tuple[int, ...] = (2, 4, 6, 8),
+    holder_count: int = 3,
+    answers_per_holder: int = 5,
+) -> FigureResult:
+    """BP vs. Gnutella: completion (avg over runs) vs. number of peers."""
+    params = params if params is not None else FigureParams()
+    result = FigureResult(
+        figure="Figure 8(b)",
+        title="Effect of the number of directly connected peers",
+        x_label="direct peers",
+        y_label="completion time (s)",
+        notes=f"averaged over {params.queries} runs of one query",
+    )
+    placement = AnswerPlacement(
+        node_count=node_count,
+        holder_count=holder_count,
+        answers_per_holder=answers_per_holder,
+        seed=params.seed,
+    )
+    for peers in peer_counts:
+        topology = random_graph(
+            node_count, degree=max(1, peers // 2), seed=params.seed
+        )
+        bp_params = replace(params, k_base=peers)
+        bp_runs = _bestpeer_runs(
+            topology,
+            True,
+            bp_params,
+            keyword=placement.keyword,
+            placement=placement,
+            result_mode="metadata",
+        )
+        gnutella_runs = _gnutella_runs(
+            topology, params, keyword=placement.keyword, placement=placement
+        )
+        result.add_point("BP", peers, _mean_completion(bp_runs))
+        result.add_point("Gnutella", peers, _mean_completion(gnutella_runs))
+    return result

@@ -1,0 +1,101 @@
+"""Evaluation metrics.
+
+All three systems (BestPeer, CS, Gnutella) reduce a query run to a list
+of :class:`Arrival` records — who answered, when, with how many answers
+— from which the paper's three measures derive:
+
+* **completion time** — "the time when all answers from all nodes have
+  been received" (Figure 5, Figure 8);
+* **response curve** — "the point (K, T) indicates that K nodes have
+  responded after T time units" (Figure 6);
+* **answer curve** — cumulative number of answers over time (Figure 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ExperimentError
+
+
+@dataclass(frozen=True, slots=True)
+class Arrival:
+    """One answer message reaching the query initiator."""
+
+    time: float  # relative to query issue
+    responder: str
+    answer_count: int
+
+
+def completion_time(arrivals: list[Arrival]) -> float:
+    """Time until the last answer arrived (0.0 when nothing arrived)."""
+    if not arrivals:
+        return 0.0
+    return max(arrival.time for arrival in arrivals)
+
+
+def response_curve(arrivals: list[Arrival]) -> list[tuple[int, float]]:
+    """Figure-6 points: (K, T) - the K-th distinct responder's time."""
+    seen: set[str] = set()
+    points = []
+    for arrival in sorted(arrivals, key=lambda a: a.time):
+        if arrival.responder in seen:
+            continue
+        seen.add(arrival.responder)
+        points.append((len(seen), arrival.time))
+    return points
+
+
+def answer_curve(arrivals: list[Arrival]) -> list[tuple[float, int]]:
+    """Figure-7 points: (T, cumulative answers received by T)."""
+    points = []
+    cumulative = 0
+    for arrival in sorted(arrivals, key=lambda a: a.time):
+        cumulative += arrival.answer_count
+        points.append((arrival.time, cumulative))
+    return points
+
+
+def average_curves(
+    curves: list[list[tuple[int, float]]]
+) -> list[tuple[int, float]]:
+    """Average several response curves rank-by-rank.
+
+    The paper issues the query several times "and the average time at
+    which nodes respond are noted": for each rank K we average the K-th
+    response time across runs.  Runs may have different lengths (e.g. a
+    responder churned away); ranks present in every run are averaged,
+    longer tails are truncated to the shortest run.
+    """
+    if not curves:
+        raise ExperimentError("average_curves needs at least one curve")
+    shortest = min(len(curve) for curve in curves)
+    averaged = []
+    for index in range(shortest):
+        ranks = {curve[index][0] for curve in curves}
+        if len(ranks) != 1:
+            raise ExperimentError(
+                f"curves disagree on rank at position {index}: {sorted(ranks)}"
+            )
+        mean_time = sum(curve[index][1] for curve in curves) / len(curves)
+        averaged.append((curves[0][index][0], mean_time))
+    return averaged
+
+
+def average_answer_curves(
+    curves: list[list[tuple[float, int]]]
+) -> list[tuple[float, int]]:
+    """Average several answer curves position-by-position.
+
+    Positions are aligned by arrival index; the time at each index is
+    averaged and the cumulative count taken from the first run (runs of
+    the same workload return identical answer sequences).
+    """
+    if not curves:
+        raise ExperimentError("average_answer_curves needs at least one curve")
+    shortest = min(len(curve) for curve in curves)
+    averaged = []
+    for index in range(shortest):
+        mean_time = sum(curve[index][0] for curve in curves) / len(curves)
+        averaged.append((mean_time, curves[0][index][1]))
+    return averaged

@@ -1,0 +1,53 @@
+"""Plain-text rendering of reproduced figures."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.eval.experiment import FigureResult
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render an aligned text table."""
+    cells = [[str(h) for h in headers]] + [[_fmt(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(width) for cell, width in zip(row, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_figure(result: FigureResult) -> str:
+    """Render one reproduced figure as an x-by-series table."""
+    names = sorted(result.series)
+    xs: list[float] = []
+    for name in names:
+        for x, _ in result.series[name]:
+            if x not in xs:
+                xs.append(x)
+    xs.sort()
+    lookup = {
+        name: {x: y for x, y in result.series[name]} for name in names
+    }
+    rows = []
+    for x in xs:
+        row: list[object] = [_fmt(x)]
+        for name in names:
+            y = lookup[name].get(x)
+            row.append("-" if y is None else _fmt(y))
+        rows.append(row)
+    header = [result.x_label] + names
+    body = format_table(header, rows)
+    title = f"{result.figure}: {result.title}  [y = {result.y_label}]"
+    parts = [title, body]
+    if result.notes:
+        parts.append(f"note: {result.notes}")
+    return "\n".join(parts)

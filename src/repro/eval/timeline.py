@@ -1,0 +1,75 @@
+"""Trace timelines: what happened, when, where.
+
+Turns a :class:`~repro.util.tracing.Tracer`'s event stream into a
+chronological, human-readable timeline — the debugging view for "why
+did that answer arrive so late".  Works on any trace the substrate
+records (network sends/deliveries/drops, agent dispatch/execute/dedup,
+LIGLO traffic, node reconfigurations).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.util.tracing import Tracer
+
+
+def render_timeline(
+    tracer: Tracer,
+    categories: Iterable[str] | None = None,
+    start: float = 0.0,
+    end: float | None = None,
+    limit: int | None = None,
+) -> str:
+    """Render matching trace events as one line each, time-ordered.
+
+    ``categories`` filters (None = all); ``start``/``end`` bound the
+    simulated-time window; ``limit`` truncates long traces with an
+    ellipsis line.
+    """
+    wanted = set(categories) if categories is not None else None
+    selected = [
+        event
+        for event in tracer.events
+        if (wanted is None or event.category in wanted)
+        and event.time >= start
+        and (end is None or event.time <= end)
+    ]
+    selected.sort(key=lambda event: event.time)
+    truncated = 0
+    if limit is not None and len(selected) > limit:
+        truncated = len(selected) - limit
+        selected = selected[:limit]
+    if not selected:
+        return "(no matching trace events)"
+    origin = selected[0].time
+    lines = []
+    for event in selected:
+        offset = (event.time - origin) * 1000.0
+        fields = " ".join(f"{k}={v}" for k, v in event.fields)
+        lines.append(
+            f"+{offset:9.3f}ms  {event.category:8} {event.label:<14} {fields}".rstrip()
+        )
+    if truncated:
+        lines.append(f"... {truncated} more events (limit={limit})")
+    return "\n".join(lines)
+
+
+def event_counts(tracer: Tracer) -> dict[tuple[str, str], int]:
+    """Histogram of (category, label) across the whole trace."""
+    counts: dict[tuple[str, str], int] = {}
+    for event in tracer.events:
+        key = (event.category, event.label)
+        counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def busiest_hosts(tracer: Tracer, top: int = 5) -> list[tuple[str, int]]:
+    """Hosts mentioned most often in 'deliver' events (hot spots)."""
+    counts: dict[str, int] = {}
+    for event in tracer.select("net", "deliver"):
+        host = event.get("host")
+        if host is not None:
+            counts[host] = counts.get(host, 0) + 1
+    ranked = sorted(counts.items(), key=lambda item: (-item[1], item[0]))
+    return ranked[:top]

@@ -1,0 +1,35 @@
+"""LIGLO: Location-Independent GLObal name lookup servers.
+
+A LIGLO server is a fixed-IP node that (1) issues each registering node a
+permanent ``BPID`` and (2) tracks that node's *current* IP address and
+online status, so peers remain recognizable across address changes.  Any
+number of LIGLO servers coexist in one BestPeer network; each is
+authoritative only for its own members, and each may cap its membership
+for load control.
+"""
+
+from repro.liglo.client import LigloClient, RegistrationResult
+from repro.liglo.messages import (
+    Announce,
+    Ping,
+    Pong,
+    RegisterReply,
+    RegisterRequest,
+    ResolveReply,
+    ResolveRequest,
+)
+from repro.liglo.server import LigloServer, MemberEntry
+
+__all__ = [
+    "LigloServer",
+    "MemberEntry",
+    "LigloClient",
+    "RegistrationResult",
+    "RegisterRequest",
+    "RegisterReply",
+    "Announce",
+    "ResolveRequest",
+    "ResolveReply",
+    "Ping",
+    "Pong",
+]

@@ -1,0 +1,170 @@
+"""Node-side LIGLO protocol: register, announce, resolve.
+
+All operations are asynchronous (this is a discrete-event world): the
+caller passes a callback, and the client correlates replies to requests
+with tokens, handling timeouts for requests whose LIGLO never answers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from repro.errors import LigloError
+from repro.ids import BPID, SerialCounter
+from repro.liglo import messages as m
+from repro.net.address import IPAddress
+from repro.net.message import Packet
+from repro.net.network import Host
+from repro.util.tracing import NULL_TRACER, Tracer
+
+#: How long to wait for a LIGLO reply before giving up (seconds).
+DEFAULT_TIMEOUT = 5.0
+
+
+@dataclass(frozen=True, slots=True)
+class RegistrationResult:
+    """Outcome of a registration attempt delivered to the caller."""
+
+    accepted: bool
+    bpid: BPID | None = None
+    peers: tuple[tuple[BPID, IPAddress], ...] = ()
+    liglo_address: IPAddress | None = None
+    reason: str = ""
+
+
+class LigloClient:
+    """One node's view of the LIGLO service."""
+
+    def __init__(
+        self,
+        host: Host,
+        timeout: float = DEFAULT_TIMEOUT,
+        tracer: Tracer | None = None,
+    ):
+        self.host = host
+        self.timeout = timeout
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.bpid: BPID | None = None
+        self._tokens = SerialCounter()
+        self._pending_registers: dict[int, Callable[[RegistrationResult], None]] = {}
+        self._pending_resolves: dict[int, Callable[[m.ResolveReply | None], None]] = {}
+        host.bind(m.PROTO_REGISTER_REPLY, self._on_register_reply)
+        host.bind(m.PROTO_RESOLVE_REPLY, self._on_resolve_reply)
+        host.bind(m.PROTO_PING, self._on_ping)
+
+    # -- registration -------------------------------------------------------------
+
+    def register(
+        self,
+        liglo_address: IPAddress,
+        callback: Callable[[RegistrationResult], None],
+    ) -> None:
+        """Ask one LIGLO server for a BPID; the callback gets the outcome."""
+        token = self._tokens.next()
+        self._pending_registers[token] = callback
+        self.host.send(liglo_address, m.PROTO_REGISTER, m.RegisterRequest(token))
+        self.host.sim.schedule(self.timeout, self._expire_register, token)
+
+    def register_any(
+        self,
+        liglo_addresses: Sequence[IPAddress],
+        callback: Callable[[RegistrationResult], None],
+    ) -> None:
+        """Try LIGLO servers in order until one accepts (or all refuse).
+
+        This is the paper's fallback: "The node has to seek for another
+        LIGLO for registration" when a server is at capacity.
+        """
+        if not liglo_addresses:
+            raise LigloError("register_any needs at least one LIGLO address")
+        remaining = list(liglo_addresses)
+
+        def try_next(result: RegistrationResult | None = None) -> None:
+            if result is not None and result.accepted:
+                callback(result)
+                return
+            if not remaining:
+                callback(
+                    result
+                    if result is not None
+                    else RegistrationResult(accepted=False, reason="no LIGLO answered")
+                )
+                return
+            self.register(remaining.pop(0), try_next)
+
+        try_next()
+
+    def _on_register_reply(self, packet: Packet) -> None:
+        reply: m.RegisterReply = packet.payload
+        callback = self._pending_registers.pop(reply.token, None)
+        if callback is None:
+            return  # arrived after timeout
+        result = RegistrationResult(
+            accepted=reply.accepted,
+            bpid=reply.bpid,
+            peers=reply.peers,
+            liglo_address=packet.src,
+            reason=reply.reason,
+        )
+        if reply.accepted:
+            self.bpid = reply.bpid
+            self.tracer.record(
+                self.host.sim.now, "liglo", "registered", bpid=str(reply.bpid)
+            )
+        callback(result)
+
+    def _expire_register(self, token: int) -> None:
+        callback = self._pending_registers.pop(token, None)
+        if callback is not None:
+            callback(
+                RegistrationResult(accepted=False, reason="registration timed out")
+            )
+
+    # -- announcements -------------------------------------------------------------
+
+    def announce(self) -> None:
+        """Report our current IP to our LIGLO (call on every reconnect)."""
+        if self.bpid is None:
+            raise LigloError("cannot announce before registration")
+        self.host.send(
+            IPAddress(self.bpid.liglo_id), m.PROTO_ANNOUNCE, m.Announce(self.bpid)
+        )
+
+    # -- resolution -----------------------------------------------------------------
+
+    def resolve(
+        self,
+        bpid: BPID,
+        callback: Callable[[m.ResolveReply | None], None],
+    ) -> None:
+        """Look up a peer's current IP at *its* registered LIGLO.
+
+        The LIGLO's address is recoverable from the BPID itself ("p's
+        registered LIGLO can be obtained from p's BPID").  The callback
+        receives the reply, or None on timeout.
+        """
+        token = self._tokens.next()
+        self._pending_resolves[token] = callback
+        self.host.send(
+            IPAddress(bpid.liglo_id), m.PROTO_RESOLVE, m.ResolveRequest(token, bpid)
+        )
+        self.host.sim.schedule(self.timeout, self._expire_resolve, token)
+
+    def _on_resolve_reply(self, packet: Packet) -> None:
+        reply: m.ResolveReply = packet.payload
+        callback = self._pending_resolves.pop(reply.token, None)
+        if callback is not None:
+            callback(reply)
+
+    def _expire_resolve(self, token: int) -> None:
+        callback = self._pending_resolves.pop(token, None)
+        if callback is not None:
+            callback(None)
+
+    # -- validity probes ---------------------------------------------------------------
+
+    def _on_ping(self, packet: Packet) -> None:
+        ping: m.Ping = packet.payload
+        if self.bpid is not None:
+            self.host.send(packet.src, m.PROTO_PONG, m.Pong(ping.token, self.bpid))

@@ -1,0 +1,80 @@
+"""Wire messages of the LIGLO protocol."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ids import BPID
+from repro.net.address import IPAddress
+
+PROTO_REGISTER = "liglo.register"
+PROTO_REGISTER_REPLY = "liglo.register.reply"
+PROTO_ANNOUNCE = "liglo.announce"
+PROTO_RESOLVE = "liglo.resolve"
+PROTO_RESOLVE_REPLY = "liglo.resolve.reply"
+PROTO_PING = "liglo.ping"
+PROTO_PONG = "liglo.pong"
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterRequest:
+    """Ask a LIGLO server for a BPID (correlated by ``token``)."""
+
+    token: int
+
+
+@dataclass(frozen=True, slots=True)
+class RegisterReply:
+    """Registration outcome.
+
+    On acceptance carries the fresh BPID and the initial list of
+    ``(BPID, current IP)`` direct-peer candidates; on rejection (server
+    at capacity) carries the reason.
+    """
+
+    token: int
+    accepted: bool
+    bpid: BPID | None = None
+    peers: tuple[tuple[BPID, IPAddress], ...] = ()
+    reason: str = ""
+
+
+@dataclass(frozen=True, slots=True)
+class Announce:
+    """A member reports its (possibly new) IP on (re)connecting."""
+
+    bpid: BPID
+
+
+@dataclass(frozen=True, slots=True)
+class ResolveRequest:
+    """Ask a LIGLO server for a member's current IP and status."""
+
+    token: int
+    bpid: BPID
+
+
+@dataclass(frozen=True, slots=True)
+class ResolveReply:
+    """Resolution outcome: current address (None if unknown/offline)."""
+
+    token: int
+    bpid: BPID
+    address: IPAddress | None
+    online: bool
+    known: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    """Validity check probe from a LIGLO server to a member."""
+
+    token: int
+
+
+@dataclass(frozen=True, slots=True)
+class Pong:
+    """Member's response to a validity probe."""
+
+    token: int
+    bpid: BPID

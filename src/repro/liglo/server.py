@@ -1,0 +1,207 @@
+"""The LIGLO server.
+
+Runs on a host with a fixed IP (LIGLO hosts never churn in this
+reproduction; their address *is* their identity — the ``liglo_id`` half
+of every BPID they issue).  Functions, per Section 3.4:
+
+* issue BPIDs, up to an optional membership ``capacity`` ("a LIGLO
+  server can reject any new inquiry on assigning BPID in order to
+  preserve the efficiency for the existing members");
+* record each member's current IP whenever it announces itself;
+* on registration, hand the newcomer an initial list of ``(BPID, IP)``
+  direct-peer candidates drawn from its online members;
+* periodically check the validity of registered IPs ("In BestPeer,
+  LIGLO will periodically check the validity of its registered
+  participants' IP addresses") by pinging members and marking the
+  silent ones offline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import LigloError
+from repro.ids import BPID, SerialCounter
+from repro.liglo import messages as m
+from repro.net.address import IPAddress
+from repro.net.message import Packet
+from repro.net.network import Host
+from repro.util.tracing import NULL_TRACER, Tracer
+
+#: How many (BPID, IP) pairs a registration reply carries by default.
+DEFAULT_INITIAL_PEERS = 5
+
+
+@dataclass
+class MemberEntry:
+    """What a LIGLO server knows about one of its members."""
+
+    bpid: BPID
+    address: IPAddress
+    online: bool
+    registered_at: float
+    last_seen: float
+
+
+class LigloServer:
+    """LIGLO service bound to one fixed-IP host."""
+
+    def __init__(
+        self,
+        host: Host,
+        capacity: int | None = None,
+        initial_peers: int = DEFAULT_INITIAL_PEERS,
+        check_interval: float | None = None,
+        check_timeout: float = 2.0,
+        tracer: Tracer | None = None,
+    ):
+        if host.address is None:
+            raise LigloError("a LIGLO server needs an online, fixed-IP host")
+        if capacity is not None and capacity < 1:
+            raise LigloError(f"capacity must be >= 1, got {capacity}")
+        self.host = host
+        self.server_id = str(host.address)
+        self.capacity = capacity
+        self.initial_peers = initial_peers
+        self.check_interval = check_interval
+        self.check_timeout = check_timeout
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.members: dict[int, MemberEntry] = {}
+        self._node_serials = SerialCounter()
+        self._ping_serials = SerialCounter()
+        self._pending_pings: dict[int, int] = {}  # ping token -> node_id
+        self.registrations_rejected = 0
+        host.bind(m.PROTO_REGISTER, self._on_register)
+        host.bind(m.PROTO_ANNOUNCE, self._on_announce)
+        host.bind(m.PROTO_RESOLVE, self._on_resolve)
+        host.bind(m.PROTO_PONG, self._on_pong)
+        if check_interval is not None:
+            # Daemon timer: periodic housekeeping must not keep an
+            # unbounded simulation run alive forever.
+            self.host.sim.schedule_daemon(check_interval, self._run_validity_check)
+
+    # -- protocol handlers ---------------------------------------------------
+
+    def _on_register(self, packet: Packet) -> None:
+        request: m.RegisterRequest = packet.payload
+        if self.capacity is not None and len(self.members) >= self.capacity:
+            self.registrations_rejected += 1
+            self.tracer.record(
+                self.host.sim.now, "liglo", "reject", server=self.server_id
+            )
+            reply = m.RegisterReply(
+                token=request.token,
+                accepted=False,
+                reason=f"LIGLO {self.server_id} is at capacity ({self.capacity})",
+            )
+            self.host.send(packet.src, m.PROTO_REGISTER_REPLY, reply)
+            return
+        node_id = self._node_serials.next()
+        bpid = BPID(self.server_id, node_id)
+        now = self.host.sim.now
+        peers = self._initial_peer_list()
+        self.members[node_id] = MemberEntry(
+            bpid=bpid,
+            address=packet.src,
+            online=True,
+            registered_at=now,
+            last_seen=now,
+        )
+        self.tracer.record(
+            now, "liglo", "register", server=self.server_id, bpid=str(bpid)
+        )
+        reply = m.RegisterReply(
+            token=request.token, accepted=True, bpid=bpid, peers=tuple(peers)
+        )
+        self.host.send(packet.src, m.PROTO_REGISTER_REPLY, reply)
+
+    def _initial_peer_list(self) -> list[tuple[BPID, IPAddress]]:
+        """Most recently seen online members, newest first."""
+        online = [entry for entry in self.members.values() if entry.online]
+        online.sort(key=lambda entry: entry.last_seen, reverse=True)
+        return [(entry.bpid, entry.address) for entry in online[: self.initial_peers]]
+
+    def _on_announce(self, packet: Packet) -> None:
+        announce: m.Announce = packet.payload
+        entry = self._member_for(announce.bpid)
+        if entry is None:
+            return  # not ours, or forgotten; the node must re-register
+        entry.address = packet.src
+        entry.online = True
+        entry.last_seen = self.host.sim.now
+        self.tracer.record(
+            self.host.sim.now,
+            "liglo",
+            "announce",
+            bpid=str(announce.bpid),
+            address=str(packet.src),
+        )
+
+    def _on_resolve(self, packet: Packet) -> None:
+        request: m.ResolveRequest = packet.payload
+        entry = self._member_for(request.bpid)
+        if entry is None:
+            reply = m.ResolveReply(
+                token=request.token,
+                bpid=request.bpid,
+                address=None,
+                online=False,
+                known=False,
+            )
+        else:
+            reply = m.ResolveReply(
+                token=request.token,
+                bpid=request.bpid,
+                address=entry.address if entry.online else None,
+                online=entry.online,
+            )
+        self.host.send(packet.src, m.PROTO_RESOLVE_REPLY, reply)
+
+    def _on_pong(self, packet: Packet) -> None:
+        pong: m.Pong = packet.payload
+        node_id = self._pending_pings.pop(pong.token, None)
+        if node_id is None:
+            return
+        entry = self.members.get(node_id)
+        if entry is not None:
+            entry.online = True
+            entry.last_seen = self.host.sim.now
+
+    # -- validity checking ------------------------------------------------------
+
+    def _run_validity_check(self) -> None:
+        """Ping every supposedly-online member; silence means offline."""
+        for node_id, entry in self.members.items():
+            if not entry.online:
+                continue
+            token = self._ping_serials.next()
+            self._pending_pings[token] = node_id
+            self.host.send(entry.address, m.PROTO_PING, m.Ping(token))
+            self.host.sim.schedule(self.check_timeout, self._expire_ping, token)
+        if self.check_interval is not None:
+            self.host.sim.schedule_daemon(self.check_interval, self._run_validity_check)
+
+    def _expire_ping(self, token: int) -> None:
+        node_id = self._pending_pings.pop(token, None)
+        if node_id is None:
+            return  # the pong made it in time
+        entry = self.members.get(node_id)
+        if entry is not None:
+            entry.online = False
+            self.tracer.record(
+                self.host.sim.now, "liglo", "mark-offline", bpid=str(entry.bpid)
+            )
+
+    # -- queries (for tests and operators) -----------------------------------------
+
+    def member_count(self) -> int:
+        return len(self.members)
+
+    def lookup(self, bpid: BPID) -> MemberEntry | None:
+        """Local (non-network) lookup of a member entry."""
+        return self._member_for(bpid)
+
+    def _member_for(self, bpid: BPID) -> MemberEntry | None:
+        if bpid.liglo_id != self.server_id:
+            return None
+        return self.members.get(bpid.node_id)

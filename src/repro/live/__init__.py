@@ -1,0 +1,33 @@
+"""Live runtime: BestPeer over real TCP sockets and threads.
+
+The simulator (:mod:`repro.sim` / :mod:`repro.net`) exists to reproduce
+the paper's *measurements*; this package demonstrates that the system
+itself is real software: the **same** :class:`~repro.agents.agent.Agent`
+classes, the same code-shipping envelopes, and the same answer messages
+run over genuine TCP connections between :class:`LivePeer` processes-
+worth of threads on one machine — the deployment style of the 2002
+prototype, one JVM per PC, scaled onto a single box.
+
+Messages are framed, pickled, and gzip-compressed exactly like the
+simulated wire format; every exchange opens a fresh connection, which is
+both simple and faithful to early-2000s P2P servents.
+
+Only trusted, same-machine use is supported: code shipping executes
+remote source by design (see :mod:`repro.agents.codeship`).
+"""
+
+from repro.live.engine import LiveAgentEngine, LiveContext
+from repro.live.liglo import LiveLigloClient, LiveLigloServer
+from repro.live.node import LivePeer, LiveQuery
+from repro.live.transport import LiveAddress, LiveEndpoint
+
+__all__ = [
+    "LiveEndpoint",
+    "LiveAddress",
+    "LiveAgentEngine",
+    "LiveContext",
+    "LivePeer",
+    "LiveQuery",
+    "LiveLigloServer",
+    "LiveLigloClient",
+]

@@ -1,0 +1,178 @@
+"""Framed TCP transport for the live runtime.
+
+One message = one TCP connection carrying one frame::
+
+    u32 length | gzip(pickle((protocol, payload)))
+
+A :class:`LiveEndpoint` owns a listening socket plus an accept thread;
+each accepted connection is served by a short-lived worker thread that
+reads the single frame and dispatches it to the protocol handler.
+Handlers therefore run concurrently — callers guard their own state.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+from typing import Any, Callable
+
+from repro.errors import NetworkError
+from repro.util.compression import DEFAULT_CODEC, Codec
+from repro.util.serialization import deserialize, serialize
+
+#: (host, port) of a live peer
+LiveAddress = tuple[str, int]
+
+_LEN = struct.Struct("<I")
+#: refuse absurd frames rather than allocating unbounded buffers
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+
+def encode_frame(protocol: str, payload: Any, codec: Codec) -> bytes:
+    body = codec.compress(serialize((protocol, payload)))
+    if len(body) > MAX_FRAME_BYTES:
+        raise NetworkError(f"frame of {len(body)} bytes exceeds the limit")
+    return _LEN.pack(len(body)) + body
+
+
+def read_frame(sock: socket.socket, codec: Codec) -> tuple[str, Any] | None:
+    """Read one frame; None on a cleanly closed connection."""
+    header = _read_exactly(sock, _LEN.size)
+    if header is None:
+        return None
+    (length,) = _LEN.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise NetworkError(f"incoming frame of {length} bytes exceeds the limit")
+    body = _read_exactly(sock, length)
+    if body is None:
+        raise NetworkError("connection closed between header and body")
+    protocol, payload = deserialize(codec.decompress(body))
+    return protocol, payload
+
+
+def _read_exactly(sock: socket.socket, count: int) -> bytes | None:
+    """Read exactly ``count`` bytes; None on EOF *before* the first byte,
+    :class:`NetworkError` on EOF mid-read."""
+    chunks = []
+    remaining = count
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if remaining == count:
+                return None
+            raise NetworkError("connection closed mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+class LiveEndpoint:
+    """One node's network presence: a listener plus connect-per-send."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        codec: Codec | None = None,
+    ):
+        self.codec = codec if codec is not None else DEFAULT_CODEC
+        self._handlers: dict[str, Callable[[LiveAddress, Any], None]] = {}
+        self._handlers_lock = threading.Lock()
+        self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        self._listener.bind((host, port))
+        self._listener.listen(32)
+        self.address: LiveAddress = self._listener.getsockname()
+        self._closed = threading.Event()
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"live-accept-{self.address[1]}", daemon=True
+        )
+        self._accept_thread.start()
+        #: counters (informational; written by worker threads)
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    # -- binding -----------------------------------------------------------------
+
+    def bind(self, protocol: str, handler: Callable[[LiveAddress, Any], None]) -> None:
+        """Register ``handler(reply_address, payload)`` for one protocol."""
+        with self._handlers_lock:
+            if protocol in self._handlers:
+                raise NetworkError(f"protocol {protocol!r} already bound")
+            self._handlers[protocol] = handler
+
+    # -- sending ------------------------------------------------------------------
+
+    def send(self, dst: LiveAddress, protocol: str, payload: Any) -> None:
+        """Deliver one message (connect, write frame, close).
+
+        Raises :class:`NetworkError` if the destination is unreachable —
+        live callers handle peer death explicitly.
+        """
+        frame = encode_frame(protocol, payload, self.codec)
+        try:
+            with socket.create_connection(dst, timeout=5.0) as sock:
+                # Tell the receiver where replies should go (our listener,
+                # not this ephemeral outgoing port).
+                sock.sendall(
+                    encode_frame("_reply_to", self.address, self.codec)
+                )
+                sock.sendall(frame)
+        except OSError as exc:
+            raise NetworkError(f"cannot deliver to {dst}: {exc}") from exc
+        self.messages_sent += 1
+
+    def try_send(self, dst: LiveAddress, protocol: str, payload: Any) -> bool:
+        """Best-effort send; False instead of raising on dead peers."""
+        try:
+            self.send(dst, protocol, payload)
+            return True
+        except NetworkError:
+            return False
+
+    # -- receiving ------------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closed.is_set():
+            try:
+                conn, _peer = self._listener.accept()
+            except OSError:
+                return  # listener closed
+            worker = threading.Thread(
+                target=self._serve_connection, args=(conn,), daemon=True
+            )
+            worker.start()
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        reply_to: LiveAddress | None = None
+        try:
+            with conn:
+                conn.settimeout(5.0)
+                first = read_frame(conn, self.codec)
+                if first is None:
+                    return
+                protocol, payload = first
+                if protocol == "_reply_to":
+                    reply_to = tuple(payload)
+                    frame = read_frame(conn, self.codec)
+                    if frame is None:
+                        return
+                    protocol, payload = frame
+                self.messages_received += 1
+                with self._handlers_lock:
+                    handler = self._handlers.get(protocol)
+                if handler is not None and not self._closed.is_set():
+                    handler(reply_to or ("0.0.0.0", 0), payload)
+        except (NetworkError, OSError):
+            return  # a broken/peer-closed connection is not our problem
+
+    def close(self) -> None:
+        """Stop accepting and release the port (idempotent)."""
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass

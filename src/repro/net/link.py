@@ -1,0 +1,37 @@
+"""Link cost model: propagation latency plus transmission bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class LinkModel:
+    """Cost parameters for one (directed) link.
+
+    ``latency`` is one-way delay in seconds; ``bandwidth`` is bytes per
+    second and determines how long a packet occupies the sender NIC.
+    Defaults approximate the paper's testbed: a switched 10 Mbps LAN of
+    Pentium-II PCs where every hop paid a fresh TCP connection through a
+    1990s Java network stack — per-message latency of a few
+    milliseconds, not microseconds.
+    """
+
+    latency: float = 0.005
+    bandwidth: float = 1_250_000.0  # bytes/second (10 Mbps)
+    #: probability a packet vanishes in flight (failure injection)
+    loss_probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        if self.bandwidth <= 0:
+            raise ValueError(f"bandwidth must be > 0, got {self.bandwidth}")
+        if not 0.0 <= self.loss_probability <= 1.0:
+            raise ValueError(
+                f"loss_probability must be in [0, 1], got {self.loss_probability}"
+            )
+
+    def transmission_time(self, size_bytes: int) -> float:
+        """Seconds the sender NIC is occupied transmitting ``size_bytes``."""
+        return size_bytes / self.bandwidth

@@ -1,0 +1,35 @@
+"""Wire-level packet representation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.net.address import IPAddress
+
+#: Fixed per-packet protocol overhead (headers, framing), in bytes.
+PACKET_OVERHEAD_BYTES = 80
+
+
+@dataclass(frozen=True, slots=True)
+class Packet:
+    """One message travelling the simulated network.
+
+    ``payload`` is the already-decoded application object handed to the
+    receiving protocol handler; ``wire_size`` is the number of bytes the
+    serialized, compressed form (plus framing overhead) occupied on the
+    wire — the quantity the transmission-cost model charges for.
+    """
+
+    src: IPAddress
+    dst: IPAddress
+    protocol: str
+    payload: Any
+    wire_size: int
+    sent_at: float
+
+    def __str__(self) -> str:
+        return (
+            f"Packet({self.src} -> {self.dst} proto={self.protocol} "
+            f"{self.wire_size}B sent@{self.sent_at:.6f})"
+        )

@@ -1,0 +1,268 @@
+"""Hosts and the network fabric.
+
+A :class:`Host` owns a CPU (a :class:`~repro.sim.resources.FifoServer`
+with one slot per "thread") and an uplink NIC (single-slot FIFO).
+Sending a payload really serializes and compresses it, charges the NIC
+for the wire size, delays by the link latency, and finally dispatches the
+decoded payload to the receiver's protocol handler *on the receiver's
+CPU* — so a single-threaded host genuinely serializes its message
+handling, which is what separates SCS from MCS in the paper.
+
+Delivery is datagram-like: packets to offline hosts or stale addresses
+are silently dropped (and traced).  Protocols needing reliability build
+timeouts on top, exactly as the paper's LIGLO validity checks do.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import HostOffline, NetworkError, UnknownProtocolError
+from repro.net.address import AddressPool, IPAddress
+from repro.net.link import LinkModel
+from repro.net.message import PACKET_OVERHEAD_BYTES, Packet
+from repro.sim import FifoServer, Simulator
+from repro.util.compression import DEFAULT_CODEC, Codec
+from repro.util.randomness import derive_rng
+from repro.util.serialization import deserialize, serialize
+from repro.util.tracing import NULL_TRACER, Tracer
+
+#: CPU time to accept a packet and dispatch it to a handler (seconds).
+#: Calibrated to the paper's era: receiving, parsing, and routing one
+#: message through a Java network stack on a 200 MHz Pentium II costs
+#: milliseconds.  Reverse-path protocols (CS, Gnutella) pay this twice
+#: per hop - once for the query, once for every relayed result.
+DEFAULT_DISPATCH_TIME = 0.003
+
+
+class Host:
+    """One machine on the simulated network.  Create via ``Network.create_host``."""
+
+    def __init__(
+        self,
+        network: "Network",
+        name: str,
+        cpu_threads: int = 8,
+        dispatch_time: float = DEFAULT_DISPATCH_TIME,
+    ):
+        self.network = network
+        self.sim: Simulator = network.sim
+        self.name = name
+        self.cpu = FifoServer(self.sim, capacity=cpu_threads, name=f"{name}.cpu")
+        self.nic = FifoServer(self.sim, capacity=1, name=f"{name}.nic")
+        self.dispatch_time = dispatch_time
+        self.address: IPAddress | None = None
+        self.online = False
+        self._handlers: dict[str, Callable[[Packet], None]] = {}
+        #: counters
+        self.messages_sent = 0
+        self.bytes_sent = 0
+        self.messages_received = 0
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def connect(self) -> IPAddress:
+        """Come online, leasing a (usually fresh) IP address."""
+        if self.online:
+            raise NetworkError(f"host {self.name} is already online")
+        self.address = self.network._lease_address(self)
+        self.online = True
+        self.network.tracer.record(
+            self.sim.now, "net", "connect", host=self.name, address=str(self.address)
+        )
+        return self.address
+
+    def disconnect(self) -> None:
+        """Go offline, releasing the leased address; in-flight packets drop."""
+        if not self.online:
+            raise NetworkError(f"host {self.name} is already offline")
+        assert self.address is not None
+        self.network.tracer.record(
+            self.sim.now, "net", "disconnect", host=self.name, address=str(self.address)
+        )
+        self.network._release_address(self)
+        self.address = None
+        self.online = False
+
+    # -- protocol binding ---------------------------------------------------
+
+    def bind(self, protocol: str, handler: Callable[[Packet], None]) -> None:
+        """Register ``handler(packet)`` for one protocol name."""
+        if protocol in self._handlers:
+            raise NetworkError(f"host {self.name} already binds protocol {protocol!r}")
+        self._handlers[protocol] = handler
+
+    def unbind(self, protocol: str) -> None:
+        """Remove a protocol handler."""
+        self._handlers.pop(protocol, None)
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, dst: IPAddress, protocol: str, payload: Any) -> int:
+        """Transmit ``payload`` to ``dst``; returns the wire size in bytes.
+
+        Serialization + compression happen immediately (their byte count
+        prices the transmission); the packet then queues on this host's
+        NIC and arrives ``latency`` after its transmission completes.
+        """
+        if not self.online or self.address is None:
+            raise HostOffline(f"host {self.name} cannot send while offline")
+        raw = serialize(payload)
+        wire_size = len(self.network.codec.compress(raw)) + PACKET_OVERHEAD_BYTES
+        packet = Packet(
+            src=self.address,
+            dst=dst,
+            protocol=protocol,
+            # The receiver gets a genuine deserialized copy, never a shared
+            # object: hosts are separate machines, aliasing would be a lie.
+            payload=deserialize(raw),
+            wire_size=wire_size,
+            sent_at=self.sim.now,
+        )
+        self.messages_sent += 1
+        self.bytes_sent += wire_size
+        link = self.network.link_for(self.address, dst)
+        self.nic.submit(
+            link.transmission_time(wire_size), self.network._propagate, packet, link
+        )
+        return wire_size
+
+    # -- receiving ----------------------------------------------------------
+
+    def _receive(self, packet: Packet) -> None:
+        """Called by the network when a packet reaches this (online) host."""
+        handler = self._handlers.get(packet.protocol)
+        if handler is None:
+            raise UnknownProtocolError(
+                f"host {self.name} has no handler for {packet.protocol!r}"
+            )
+        self.messages_received += 1
+        self.cpu.submit(self.dispatch_time, self._dispatch, handler, packet)
+
+    def _dispatch(self, handler: Callable[[Packet], None], packet: Packet) -> None:
+        self.network.tracer.record(
+            self.sim.now,
+            "net",
+            "deliver",
+            host=self.name,
+            protocol=packet.protocol,
+            src=str(packet.src),
+            size=packet.wire_size,
+        )
+        handler(packet)
+
+    def __repr__(self) -> str:
+        state = str(self.address) if self.online else "offline"
+        return f"Host({self.name}, {state})"
+
+
+class Network:
+    """The fabric connecting hosts: address leases, links, delivery."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        pool: AddressPool | None = None,
+        default_link: LinkModel | None = None,
+        codec: Codec | None = None,
+        tracer: Tracer | None = None,
+        loss_seed: int = 0,
+    ):
+        self.sim = sim
+        self.pool = pool if pool is not None else AddressPool()
+        self.default_link = default_link if default_link is not None else LinkModel()
+        self.codec = codec if codec is not None else DEFAULT_CODEC
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._loss_rng = derive_rng(loss_seed, "packet-loss")
+        self.hosts: dict[str, Host] = {}
+        self._routes: dict[IPAddress, Host] = {}
+        self._links: dict[tuple[IPAddress, IPAddress], LinkModel] = {}
+        #: counters
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+        self.bytes_carried = 0
+
+    # -- host management ----------------------------------------------------
+
+    def create_host(
+        self,
+        name: str,
+        cpu_threads: int = 8,
+        dispatch_time: float = DEFAULT_DISPATCH_TIME,
+        connect: bool = True,
+    ) -> Host:
+        """Create (and by default connect) a host."""
+        if name in self.hosts:
+            raise NetworkError(f"duplicate host name {name!r}")
+        host = Host(self, name, cpu_threads=cpu_threads, dispatch_time=dispatch_time)
+        self.hosts[name] = host
+        if connect:
+            host.connect()
+        return host
+
+    def host_at(self, address: IPAddress) -> Host | None:
+        """Host currently holding ``address``, or None."""
+        return self._routes.get(address)
+
+    def _lease_address(self, host: Host) -> IPAddress:
+        address = self.pool.lease()
+        self._routes[address] = host
+        return address
+
+    def _release_address(self, host: Host) -> None:
+        assert host.address is not None
+        del self._routes[host.address]
+        self.pool.release(host.address)
+
+    # -- links ---------------------------------------------------------------
+
+    def link_for(self, src: IPAddress, dst: IPAddress) -> LinkModel:
+        """Link model for a directed pair (falls back to the default)."""
+        return self._links.get((src, dst), self.default_link)
+
+    def set_link(self, src: IPAddress, dst: IPAddress, link: LinkModel) -> None:
+        """Override the link model for one directed address pair."""
+        self._links[(src, dst)] = link
+
+    # -- delivery ------------------------------------------------------------
+
+    def _propagate(self, packet: Packet, link: LinkModel) -> None:
+        """NIC transmission finished; deliver after propagation latency."""
+        self.tracer.record(
+            self.sim.now,
+            "net",
+            "send",
+            src=str(packet.src),
+            dst=str(packet.dst),
+            protocol=packet.protocol,
+            size=packet.wire_size,
+        )
+        if link.loss_probability > 0.0 and (
+            self._loss_rng.random() < link.loss_probability
+        ):
+            self._drop(packet, reason="loss")
+            return
+        self.sim.schedule(link.latency, self._deliver, packet)
+
+    def _deliver(self, packet: Packet) -> None:
+        host = self._routes.get(packet.dst)
+        if host is None:
+            self._drop(packet, reason="no-route")
+            return
+        if not host.online or host.address != packet.dst:
+            self._drop(packet, reason="stale-address")
+            return
+        self.packets_delivered += 1
+        self.bytes_carried += packet.wire_size
+        host._receive(packet)
+
+    def _drop(self, packet: Packet, reason: str) -> None:
+        self.packets_dropped += 1
+        self.tracer.record(
+            self.sim.now,
+            "net",
+            "drop",
+            dst=str(packet.dst),
+            protocol=packet.protocol,
+            reason=reason,
+        )

@@ -1,0 +1,15 @@
+"""Deterministic discrete-event simulation kernel.
+
+The kernel is deliberately small: a time-ordered event heap
+(:class:`Simulator`), one-shot value-carrying :class:`Event` objects,
+generator-based :class:`Process` coroutines, and FIFO
+:class:`Resource`/:class:`FifoServer` primitives used to model CPU thread
+pools and NIC transmission queues.
+"""
+
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.process import Process
+from repro.sim.resources import FifoServer, Resource
+
+__all__ = ["Simulator", "Timer", "Event", "Process", "Resource", "FifoServer"]

@@ -1,0 +1,45 @@
+"""One-shot value-carrying events for the simulation kernel."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.errors import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class Event:
+    """A one-shot event: triggered at most once, carries a value.
+
+    Callbacks registered before the trigger run (in registration order) on
+    a zero-delay timer when the event fires; callbacks registered after
+    the trigger run on the next zero-delay timer.  Processes wait on
+    events by ``yield``-ing them.
+    """
+
+    __slots__ = ("sim", "triggered", "value", "_callbacks")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.triggered = False
+        self.value: Any = None
+        self._callbacks: list[Callable[[Any], None]] = []
+
+    def trigger(self, value: Any = None) -> None:
+        """Fire the event, waking every waiter with ``value``."""
+        if self.triggered:
+            raise SimulationError("event triggered twice")
+        self.triggered = True
+        self.value = value
+        callbacks, self._callbacks = self._callbacks, []
+        for callback in callbacks:
+            self.sim.schedule(0.0, callback, value)
+
+    def on_trigger(self, callback: Callable[[Any], None]) -> None:
+        """Register ``callback(value)``; fires immediately if already triggered."""
+        if self.triggered:
+            self.sim.schedule(0.0, callback, self.value)
+        else:
+            self._callbacks.append(callback)

@@ -1,0 +1,182 @@
+"""The discrete-event simulator core: a deterministic event heap.
+
+Determinism guarantees:
+
+* events at equal times fire in scheduling order (a monotone sequence
+  number breaks heap ties), and
+* the kernel itself never consults the wall clock or global RNG.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator
+
+from repro.errors import SchedulingError
+from repro.sim.events import Event
+from repro.sim.process import Process
+
+
+class Timer:
+    """Handle for a scheduled callback; supports cancellation.
+
+    A *daemon* timer (periodic housekeeping like LIGLO validity checks)
+    never keeps an unbounded ``run()`` alive: the run stops when only
+    daemon timers remain on the heap.
+    """
+
+    __slots__ = ("time", "callback", "args", "cancelled", "daemon")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., None],
+        args: tuple,
+        daemon: bool = False,
+    ):
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+        self.daemon = daemon
+
+    def cancel(self) -> None:
+        """Prevent the callback from firing (idempotent)."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Deterministic discrete-event scheduler.
+
+    Usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, print, "fires at t=1.5")
+        sim.spawn(my_generator_process(sim))
+        sim.run()
+    """
+
+    def __init__(self):
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Timer]] = []
+        self._sequence = 0
+        self._running = False
+        self._regular_count = 0  # non-daemon timers still on the heap
+
+    # -- scheduling ---------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` to run ``delay`` from now."""
+        return self._schedule(delay, callback, args, daemon=False)
+
+    def schedule_daemon(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Timer:
+        """Schedule housekeeping that must not keep ``run()`` alive."""
+        return self._schedule(delay, callback, args, daemon=True)
+
+    def _schedule(
+        self, delay: float, callback: Callable[..., None], args: tuple, daemon: bool
+    ) -> Timer:
+        if delay < 0:
+            raise SchedulingError(f"cannot schedule {delay} into the past")
+        timer = Timer(self.now + delay, callback, args, daemon=daemon)
+        self._sequence += 1
+        heapq.heappush(self._heap, (timer.time, self._sequence, timer))
+        if not daemon:
+            self._regular_count += 1
+        return timer
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Timer:
+        """Schedule ``callback(*args)`` at absolute simulated ``time``."""
+        return self.schedule(time - self.now, callback, *args)
+
+    def event(self) -> Event:
+        """Create a fresh untriggered :class:`Event` bound to this simulator."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        """Return an event that triggers ``delay`` from now with ``value``."""
+        event = self.event()
+        self.schedule(delay, event.trigger, value)
+        return event
+
+    # -- processes ----------------------------------------------------------
+
+    def spawn(self, generator: Generator) -> Process:
+        """Start a coroutine process; it runs from the current event."""
+        process = Process(self, generator)
+        # Kick off on a zero-delay timer so spawn() is safe mid-callback.
+        self.schedule(0.0, process._step, None)
+        return process
+
+    def _note_failure(self, process: Process) -> None:
+        """Called by a failing process.
+
+        The unobserved-failure check is scheduled *after* the completion
+        event's trigger callbacks, so a joiner waiting on the process gets
+        to observe (and handle or re-raise) the failure first.  If nobody
+        observed it, the run aborts with the original exception — errors
+        never pass silently.
+        """
+        self.schedule(0.0, self._raise_if_unobserved, process)
+
+    def _raise_if_unobserved(self, process: Process) -> None:
+        if not process.failure_observed:
+            process.failure_observed = True
+            raise process.exception
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> bool:
+        """Run the single next event.  Returns False if the heap is empty."""
+        while self._heap:
+            time, _seq, timer = heapq.heappop(self._heap)
+            if not timer.daemon:
+                self._regular_count -= 1
+            if timer.cancelled:
+                continue
+            self.now = time
+            timer.callback(*timer.args)
+            return True
+        return False
+
+    def run(self, until: float | None = None) -> float:
+        """Run until the work drains (or simulated time passes ``until``).
+
+        With no ``until``, the run stops when only daemon (housekeeping)
+        timers remain — a network with periodic LIGLO checks still
+        quiesces.  With ``until``, everything (daemons included) runs up
+        to that simulated time.  Returns the final simulated time.
+
+        A process that dies with an unhandled exception aborts the run by
+        re-raising it here, so test failures surface immediately.
+        """
+        if self._running:
+            raise SchedulingError("simulator is already running (no recursion)")
+        self._running = True
+        try:
+            while self._heap:
+                if until is None and self._regular_count == 0:
+                    break
+                time = self._heap[0][0]
+                if until is not None and time > until:
+                    self.now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self.now
+
+    def peek(self) -> float | None:
+        """Time of the next pending event, or None when idle."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        if not self._heap:
+            return None
+        return self._heap[0][0]
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events on the heap."""
+        return sum(1 for _, _, timer in self._heap if not timer.cancelled)

@@ -1,0 +1,136 @@
+"""Generator-based coroutine processes.
+
+A process is a generator driven by the simulator.  It may yield:
+
+* a number — sleep that many simulated time units,
+* an :class:`~repro.sim.events.Event` — suspend until it triggers; the
+  ``yield`` expression evaluates to the event's value,
+* another :class:`Process` — join it; the ``yield`` evaluates to the
+  joined process's return value,
+* ``None`` — reschedule immediately (cooperative yield).
+
+Returning from the generator completes the process; ``return value``
+becomes its result.  An unhandled exception marks the process failed and
+aborts the simulation run (unless another process joined it, in which
+case the exception re-raises at the join site).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.errors import ProcessError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+class Process:
+    """A running coroutine inside the simulator.  Create via ``sim.spawn``."""
+
+    __slots__ = (
+        "sim",
+        "generator",
+        "alive",
+        "result",
+        "exception",
+        "failed",
+        "failure_observed",
+        "_completion",
+    )
+
+    def __init__(self, sim: "Simulator", generator: Generator):
+        self.sim = sim
+        self.generator = generator
+        self.alive = True
+        self.result: Any = None
+        self.exception: BaseException | None = None
+        self.failed = False
+        self.failure_observed = False
+        self._completion = sim.event()
+
+    @property
+    def completion(self):
+        """Event triggered (with the result) when the process finishes."""
+        return self._completion
+
+    def _step(self, send_value: Any) -> None:
+        """Advance the generator by one yield."""
+        if not self.alive:
+            return
+        try:
+            command = self.generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - recorded, re-raised by kernel
+            self._fail(exc)
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Any) -> None:
+        from repro.sim.events import Event  # local import avoids a cycle
+
+        if command is None:
+            self.sim.schedule(0.0, self._step, None)
+        elif isinstance(command, (int, float)):
+            if command < 0:
+                self._fail(ProcessError(f"process slept for negative time {command}"))
+                return
+            self.sim.schedule(float(command), self._step, None)
+        elif isinstance(command, Event):
+            command.on_trigger(self._resume_from_event)
+        elif isinstance(command, Process):
+            command.completion.on_trigger(self._resume_from_event)
+        else:
+            self._fail(ProcessError(f"process yielded unsupported value {command!r}"))
+
+    def _resume_from_event(self, value: Any) -> None:
+        if isinstance(value, _Failure):
+            value.observed()
+            self._throw(value.exception)
+        else:
+            self._step(value)
+
+    def _throw(self, exc: BaseException) -> None:
+        """Re-raise a joined process's failure inside this process."""
+        if not self.alive:
+            return
+        try:
+            command = self.generator.throw(exc)
+        except StopIteration as stop:
+            self._finish(stop.value)
+            return
+        except BaseException as raised:  # noqa: BLE001
+            self._fail(raised)
+            return
+        self._dispatch(command)
+
+    def _finish(self, value: Any) -> None:
+        self.alive = False
+        self.result = value
+        self._completion.trigger(value)
+
+    def _fail(self, exc: BaseException) -> None:
+        self.alive = False
+        self.failed = True
+        self.exception = exc
+        if not self._completion.triggered:
+            self._completion.trigger(_Failure(exc, self))
+        # Trigger callbacks (joiners) run first; the kernel re-raises
+        # afterwards if no joiner observed the failure.
+        self.sim._note_failure(self)
+
+
+class _Failure:
+    """Wrapper distinguishing a failure completion from a value completion."""
+
+    __slots__ = ("exception", "process")
+
+    def __init__(self, exception: BaseException, process: Process):
+        self.exception = exception
+        self.process = process
+
+    def observed(self) -> None:
+        """Mark the failure as handled so the kernel does not re-raise it."""
+        self.process.failure_observed = True

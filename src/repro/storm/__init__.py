@@ -1,0 +1,62 @@
+"""StorM: a pure-Python reimplementation of the paper's storage manager.
+
+The BestPeer prototype stored each node's sharable data in StorM, a "100%
+Java persistent storage manager" built around *extensible buffer
+replacement strategies* (Bressan, Goh, Ooi, Tan — SIGMOD 1999).  This
+package mirrors that design one layer at a time:
+
+``disk``          page-granular storage backends (in-memory and real file)
+``page``          slotted-page record layout with compaction
+``buffer``        buffer pool with pluggable replacement strategies
+``replacement``   LRU, MRU, FIFO, Clock, Random, LRU-K strategies
+``heapfile``      heap file of records addressed by (page, slot)
+``objects``       the stored-object model: keywords + payload
+``index``         keyword inverted index
+``store``         the ``StorM`` facade BestPeer nodes program against
+"""
+
+from repro.storm.btree import BPlusTree
+from repro.storm.buffer import AccessStats, BufferManager
+from repro.storm.disk import Disk, FileDisk, InMemoryDisk
+from repro.storm.heapfile import HeapFile, RecordId
+from repro.storm.index import KeywordIndex
+from repro.storm.objects import StoredObject
+from repro.storm.page import SlottedPage
+from repro.storm.pindex import PersistentKeywordIndex
+from repro.storm.replacement import (
+    ClockStrategy,
+    FifoStrategy,
+    LruKStrategy,
+    LruStrategy,
+    MruStrategy,
+    RandomStrategy,
+    ReplacementStrategy,
+    make_strategy,
+)
+from repro.storm.store import StorM
+from repro.storm.wal import WriteAheadLog
+
+__all__ = [
+    "Disk",
+    "InMemoryDisk",
+    "FileDisk",
+    "SlottedPage",
+    "BufferManager",
+    "AccessStats",
+    "ReplacementStrategy",
+    "LruStrategy",
+    "MruStrategy",
+    "FifoStrategy",
+    "ClockStrategy",
+    "RandomStrategy",
+    "LruKStrategy",
+    "make_strategy",
+    "HeapFile",
+    "RecordId",
+    "StoredObject",
+    "KeywordIndex",
+    "BPlusTree",
+    "PersistentKeywordIndex",
+    "WriteAheadLog",
+    "StorM",
+]

@@ -1,0 +1,365 @@
+"""A page-based B+-tree over the buffer manager.
+
+StorM's keyword lookups can be served by a *persistent* index instead of
+the rebuilt-on-open in-memory postings: this module provides the
+underlying structure — a B+-tree storing variable-length byte-string
+entries in page-resident nodes, with all traffic going through the
+:class:`~repro.storm.buffer.BufferManager` (so index I/O participates in
+the same buffer-replacement machinery as data I/O).
+
+Design notes:
+
+* Entries are opaque byte strings ordered lexicographically; secondary-
+  index semantics (one keyword, many record ids) come from storing
+  composite ``prefix + payload`` entries and scanning by prefix — the
+  classic duplicate-handling scheme.
+* Deletion is lazy: entries are removed from leaves, but pages never
+  merge (the PostgreSQL approach); a leaf only disappears if the whole
+  tree is rebuilt.
+* Page 0 of the tree's disk is a meta page holding the root pointer, so
+  a tree can be reopened from a cold file.
+
+In-page layout (little-endian)::
+
+    meta page : magic u32, root u32, height u32
+    node page : kind u8 (1=leaf, 2=internal), count u16, extra u32,
+                offset directory u16[count] growing down from the end,
+                entry bytes (u16 length + payload) growing up
+    leaf      : extra = next-leaf page id (0xFFFFFFFF = none);
+                payload = full entry bytes
+    internal  : extra = left-most child page id;
+                payload = u32 child ++ separator key; child holds
+                entries >= separator (and < the next separator)
+"""
+
+from __future__ import annotations
+
+import struct
+from bisect import bisect_left, bisect_right
+from collections.abc import Iterator
+
+from repro.errors import PageError, StormError
+from repro.storm.buffer import BufferManager
+
+_META = struct.Struct("<III")
+_HEAD = struct.Struct("<BHI")
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+_MAGIC = 0xB7EE0001
+_LEAF = 1
+_INTERNAL = 2
+_NO_PAGE = 0xFFFFFFFF
+
+
+class _Node:
+    """Decoded form of one tree page (re-encoded on write)."""
+
+    __slots__ = ("page_id", "kind", "extra", "entries")
+
+    def __init__(self, page_id: int, kind: int, extra: int, entries: list[bytes]):
+        self.page_id = page_id
+        self.kind = kind
+        self.extra = extra  # next-leaf (leaf) or left-most child (internal)
+        self.entries = entries
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.kind == _LEAF
+
+    # Internal nodes store (child, separator) pairs encoded as
+    # u32 child ++ key; helpers below keep that readable.
+
+    def internal_pairs(self) -> list[tuple[int, bytes]]:
+        assert not self.is_leaf
+        return [
+            (_U32.unpack_from(entry, 0)[0], bytes(entry[_U32.size:]))
+            for entry in self.entries
+        ]
+
+
+class BPlusTree:
+    """A B+-tree of byte-string entries with prefix scans.
+
+    The tree owns its buffer manager's disk from page 0 (the meta page);
+    do not share the disk with a heap file.
+    """
+
+    def __init__(self, buffer: BufferManager):
+        self.buffer = buffer
+        page_size = buffer.disk.page_size
+        #: largest entry that still leaves a node at least 4 entries wide
+        self.max_entry_size = (page_size - _HEAD.size) // 4 - _U16.size - _U16.size
+        if buffer.disk.num_pages == 0:
+            meta_id, data = buffer.new_page()
+            try:
+                root = self._allocate_node(_LEAF, _NO_PAGE, [])
+                _META.pack_into(data, 0, _MAGIC, root, 1)
+                buffer.mark_dirty(meta_id)
+            finally:
+                buffer.unpin(meta_id)
+            self._root = root
+            self._height = 1
+        else:
+            with buffer.pinned(0) as data:
+                magic, root, height = _META.unpack_from(data, 0)
+            if magic != _MAGIC:
+                raise StormError("page 0 is not a B+-tree meta page")
+            self._root = root
+            self._height = height
+        self.entry_count = self._count_entries() if buffer.disk.num_pages > 1 else 0
+
+    # -- public operations ----------------------------------------------------
+
+    def insert(self, entry: bytes) -> bool:
+        """Insert one entry; returns False if it was already present."""
+        entry = bytes(entry)
+        self._check_size(entry)
+        split = self._insert_into(self._root, entry, self._height)
+        if split is _DUPLICATE:
+            return False
+        if split is not None:
+            separator, new_child = split
+            new_root = self._allocate_node(
+                _INTERNAL, self._root, [_U32.pack(new_child) + separator]
+            )
+            self._root = new_root
+            self._height += 1
+            self._write_meta()
+        self.entry_count += 1
+        return True
+
+    def delete(self, entry: bytes) -> bool:
+        """Remove one entry; returns False if it was absent."""
+        entry = bytes(entry)
+        node = self._descend_to_leaf(entry)
+        index = bisect_left(node.entries, entry)
+        if index >= len(node.entries) or node.entries[index] != entry:
+            return False
+        node.entries.pop(index)
+        self._write_node(node)
+        self.entry_count -= 1
+        return True
+
+    def contains(self, entry: bytes) -> bool:
+        """Exact-entry membership."""
+        entry = bytes(entry)
+        node = self._descend_to_leaf(entry)
+        index = bisect_left(node.entries, entry)
+        return index < len(node.entries) and node.entries[index] == entry
+
+    def scan_prefix(self, prefix: bytes) -> Iterator[bytes]:
+        """Yield every entry starting with ``prefix``, in order."""
+        prefix = bytes(prefix)
+        yield from self._scan_from(prefix, lambda e: e.startswith(prefix))
+
+    def scan_range(self, low: bytes, high: bytes) -> Iterator[bytes]:
+        """Yield entries ``low <= entry < high``, in order."""
+        low, high = bytes(low), bytes(high)
+        yield from self._scan_from(low, lambda e: e < high)
+
+    def scan_all(self) -> Iterator[bytes]:
+        """Yield every entry in order."""
+        yield from self._scan_from(b"", lambda e: True)
+
+    @property
+    def height(self) -> int:
+        return self._height
+
+    # -- traversal --------------------------------------------------------------
+
+    def _descend_to_leaf(self, entry: bytes) -> _Node:
+        node = self._read_node(self._root)
+        while not node.is_leaf:
+            node = self._read_node(self._child_for(node, entry))
+        return node
+
+    def _child_for(self, node: _Node, entry: bytes) -> int:
+        """Which child of an internal node covers ``entry``."""
+        separators = [bytes(e[_U32.size:]) for e in node.entries]
+        index = bisect_right(separators, entry)
+        if index == 0:
+            return node.extra
+        return _U32.unpack_from(node.entries[index - 1], 0)[0]
+
+    def _scan_from(self, start: bytes, keep) -> Iterator[bytes]:
+        node = self._descend_to_leaf(start)
+        index = bisect_left(node.entries, start)
+        while True:
+            while index < len(node.entries):
+                entry = node.entries[index]
+                if not keep(entry):
+                    return
+                yield entry
+                index += 1
+            if node.extra == _NO_PAGE:
+                return
+            node = self._read_node(node.extra)
+            index = 0
+
+    # -- insertion ----------------------------------------------------------------
+
+    def _insert_into(self, page_id: int, entry: bytes, level: int):
+        """Recursive insert.  Returns None, _DUPLICATE, or a split
+        ``(separator, new right sibling page id)``."""
+        node = self._read_node(page_id)
+        if level == 1:
+            assert node.is_leaf
+            index = bisect_left(node.entries, entry)
+            if index < len(node.entries) and node.entries[index] == entry:
+                return _DUPLICATE
+            node.entries.insert(index, entry)
+            if self._fits(node):
+                self._write_node(node)
+                return None
+            return self._split_leaf(node)
+        child = self._child_for(node, entry)
+        split = self._insert_into(child, entry, level - 1)
+        if split is None or split is _DUPLICATE:
+            return split
+        separator, new_child = split
+        encoded = _U32.pack(new_child) + separator
+        separators = [bytes(e[_U32.size:]) for e in node.entries]
+        index = bisect_right(separators, separator)
+        node.entries.insert(index, encoded)
+        if self._fits(node):
+            self._write_node(node)
+            return None
+        return self._split_internal(node)
+
+    def _split_leaf(self, node: _Node) -> tuple[bytes, int]:
+        middle = len(node.entries) // 2
+        right_entries = node.entries[middle:]
+        node.entries = node.entries[:middle]
+        right_id = self._allocate_node(_LEAF, node.extra, right_entries)
+        node.extra = right_id
+        self._write_node(node)
+        return right_entries[0], right_id
+
+    def _split_internal(self, node: _Node) -> tuple[bytes, int]:
+        middle = len(node.entries) // 2
+        promoted = node.entries[middle]
+        promoted_child = _U32.unpack_from(promoted, 0)[0]
+        separator = bytes(promoted[_U32.size:])
+        right_entries = node.entries[middle + 1 :]
+        node.entries = node.entries[:middle]
+        right_id = self._allocate_node(_INTERNAL, promoted_child, right_entries)
+        self._write_node(node)
+        return separator, right_id
+
+    # -- page codec ------------------------------------------------------------------
+
+    def _fits(self, node: _Node) -> bool:
+        body = sum(_U16.size + _U16.size + len(e) for e in node.entries)
+        return _HEAD.size + body <= self.buffer.disk.page_size
+
+    def _read_node(self, page_id: int) -> _Node:
+        with self.buffer.pinned(page_id) as data:
+            kind, count, extra = _HEAD.unpack_from(data, 0)
+            if kind not in (_LEAF, _INTERNAL):
+                raise PageError(f"page {page_id} is not a B+-tree node")
+            entries = []
+            directory_base = len(data)
+            for i in range(count):
+                (offset,) = _U16.unpack_from(data, directory_base - _U16.size * (i + 1))
+                (length,) = _U16.unpack_from(data, offset)
+                start = offset + _U16.size
+                entries.append(bytes(data[start : start + length]))
+        return _Node(page_id, kind, extra, entries)
+
+    def _write_node(self, node: _Node) -> None:
+        data = self.buffer.pin(node.page_id)
+        try:
+            self._encode(data, node)
+            self.buffer.mark_dirty(node.page_id)
+        finally:
+            self.buffer.unpin(node.page_id)
+
+    def _allocate_node(self, kind: int, extra: int, entries: list[bytes]) -> int:
+        page_id, data = self.buffer.new_page()
+        try:
+            node = _Node(page_id, kind, extra, entries)
+            if not self._fits(node):
+                raise PageError("node contents exceed one page")
+            self._encode(data, node)
+            self.buffer.mark_dirty(page_id)
+        finally:
+            self.buffer.unpin(page_id)
+        return page_id
+
+    def _encode(self, data: bytearray, node: _Node) -> None:
+        data[:] = bytes(len(data))
+        _HEAD.pack_into(data, 0, node.kind, len(node.entries), node.extra)
+        write_ptr = _HEAD.size
+        directory_base = len(data)
+        for i, entry in enumerate(node.entries):
+            _U16.pack_into(data, write_ptr, len(entry))
+            data[write_ptr + _U16.size : write_ptr + _U16.size + len(entry)] = entry
+            _U16.pack_into(data, directory_base - _U16.size * (i + 1), write_ptr)
+            write_ptr += _U16.size + len(entry)
+
+    def _write_meta(self) -> None:
+        data = self.buffer.pin(0)
+        try:
+            _META.pack_into(data, 0, _MAGIC, self._root, self._height)
+            self.buffer.mark_dirty(0)
+        finally:
+            self.buffer.unpin(0)
+
+    def _check_size(self, entry: bytes) -> None:
+        if len(entry) > self.max_entry_size:
+            raise StormError(
+                f"entry of {len(entry)} bytes exceeds the maximum "
+                f"{self.max_entry_size} for this page size"
+            )
+
+    def _count_entries(self) -> int:
+        return sum(1 for _ in self.scan_all())
+
+    # -- diagnostics --------------------------------------------------------------------
+
+    def check_invariants(self) -> None:
+        """Validate ordering and linkage; raises ``StormError`` on damage.
+
+        Used by tests; cheap enough to run after bulk operations.
+        """
+        previous = None
+        for entry in self.scan_all():
+            if previous is not None and entry <= previous:
+                raise StormError("entries out of order in leaf chain")
+            previous = entry
+        self._check_subtree(self._root, self._height, None, None)
+
+    def _check_subtree(
+        self, page_id: int, level: int, low: bytes | None, high: bytes | None
+    ) -> None:
+        node = self._read_node(page_id)
+        if level == 1:
+            if not node.is_leaf:
+                raise StormError(f"page {page_id} should be a leaf")
+            for entry in node.entries:
+                if low is not None and entry < low:
+                    raise StormError(f"leaf entry below its separator bound")
+                if high is not None and entry >= high:
+                    raise StormError(f"leaf entry above its separator bound")
+            return
+        if node.is_leaf:
+            raise StormError(f"page {page_id} should be internal")
+        pairs = node.internal_pairs()
+        separators = [separator for _, separator in pairs]
+        if separators != sorted(separators):
+            raise StormError(f"separators out of order in page {page_id}")
+        children = [node.extra] + [child for child, _ in pairs]
+        bounds = [low] + separators
+        uppers = separators + [high]
+        for child, child_low, child_high in zip(children, bounds, uppers):
+            self._check_subtree(child, level - 1, child_low, child_high)
+
+
+class _Duplicate:
+    """Sentinel distinguishing 'already present' from 'no split'."""
+
+    __repr__ = lambda self: "<duplicate>"  # noqa: E731
+
+
+_DUPLICATE = _Duplicate()

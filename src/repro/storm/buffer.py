@@ -1,0 +1,247 @@
+"""The buffer manager: a fixed pool of page frames over a disk.
+
+Pages are pinned into frames with :meth:`BufferManager.pin` (or the
+``with buffer.pinned(...)`` context manager), mutated in place, marked
+dirty, and written back on eviction or :meth:`BufferManager.flush_all`.
+When no frame is free the pluggable
+:class:`~repro.storm.replacement.ReplacementStrategy` picks a victim
+among unpinned frames; pinned pages are never evicted.
+
+Every logical access is counted in :class:`AccessStats`; the simulation
+layer converts the *physical* read count into simulated I/O time, which
+is how StorM's buffer behaviour shows up in BestPeer's agent service
+times.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass
+
+from repro.errors import BufferError_, BufferFullError, PageError
+from repro.storm.disk import Disk
+from repro.storm.replacement import LruStrategy, ReplacementStrategy
+
+
+@dataclass
+class AccessStats:
+    """Cumulative buffer-access counters."""
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    physical_writes: int = 0
+
+    @property
+    def hits(self) -> int:
+        return self.logical_reads - self.physical_reads
+
+    @property
+    def hit_ratio(self) -> float:
+        if self.logical_reads == 0:
+            return 0.0
+        return self.hits / self.logical_reads
+
+    def snapshot(self) -> "AccessStats":
+        """A frozen copy, e.g. to diff before/after an operation."""
+        return AccessStats(self.logical_reads, self.physical_reads, self.physical_writes)
+
+    def since(self, earlier: "AccessStats") -> "AccessStats":
+        """The delta between this snapshot and an ``earlier`` one."""
+        return AccessStats(
+            self.logical_reads - earlier.logical_reads,
+            self.physical_reads - earlier.physical_reads,
+            self.physical_writes - earlier.physical_writes,
+        )
+
+
+class _Frame:
+    __slots__ = ("page_id", "data", "pin_count", "dirty")
+
+    def __init__(self):
+        self.page_id: int | None = None
+        self.data: bytearray | None = None
+        self.pin_count = 0
+        self.dirty = False
+
+
+class BufferManager:
+    """Fixed-size page cache with pluggable replacement."""
+
+    def __init__(
+        self,
+        disk: Disk,
+        pool_size: int = 64,
+        strategy: ReplacementStrategy | None = None,
+    ):
+        if pool_size < 1:
+            raise BufferError_(f"pool size must be >= 1, got {pool_size}")
+        self.disk = disk
+        self.pool_size = pool_size
+        self.strategy = strategy if strategy is not None else LruStrategy()
+        self.stats = AccessStats()
+        self._frames = [_Frame() for _ in range(pool_size)]
+        self._free: list[int] = list(range(pool_size))
+        self._page_table: dict[int, int] = {}
+
+    # -- pin / unpin ----------------------------------------------------------
+
+    def pin(self, page_id: int) -> bytearray:
+        """Pin ``page_id`` into a frame and return its live buffer.
+
+        The returned bytearray is the frame's actual storage: mutate it
+        and call :meth:`mark_dirty` to persist changes.  Every ``pin``
+        needs a matching :meth:`unpin`.
+        """
+        self.stats.logical_reads += 1
+        frame_id = self._page_table.get(page_id)
+        if frame_id is not None:
+            frame = self._frames[frame_id]
+            frame.pin_count += 1
+            self.strategy.on_page_accessed(frame_id)
+            assert frame.data is not None
+            return frame.data
+        frame_id = self._grab_frame()
+        frame = self._frames[frame_id]
+        self.stats.physical_reads += 1
+        frame.data = self.disk.read_page(page_id)
+        frame.page_id = page_id
+        frame.pin_count = 1
+        frame.dirty = False
+        self._page_table[page_id] = frame_id
+        self.strategy.on_page_loaded(frame_id)
+        return frame.data
+
+    def unpin(self, page_id: int) -> None:
+        """Release one pin on ``page_id``."""
+        frame = self._resident_frame(page_id)
+        if frame.pin_count <= 0:
+            raise BufferError_(f"page {page_id} is not pinned")
+        frame.pin_count -= 1
+
+    @contextmanager
+    def pinned(self, page_id: int):
+        """Context manager pairing pin/unpin::
+
+        with buffer.pinned(page_id) as data:
+            ...
+        """
+        data = self.pin(page_id)
+        try:
+            yield data
+        finally:
+            self.unpin(page_id)
+
+    def new_page(self) -> tuple[int, bytearray]:
+        """Allocate a fresh page on disk and pin it (zeroed, dirty)."""
+        page_id = self.disk.allocate_page()
+        self.stats.logical_reads += 1
+        frame_id = self._grab_frame()
+        frame = self._frames[frame_id]
+        frame.data = bytearray(self.disk.page_size)
+        frame.page_id = page_id
+        frame.pin_count = 1
+        frame.dirty = True
+        self._page_table[page_id] = frame_id
+        self.strategy.on_page_loaded(frame_id)
+        return page_id, frame.data
+
+    def mark_dirty(self, page_id: int) -> None:
+        """Record that the pinned page's buffer was modified."""
+        frame = self._resident_frame(page_id)
+        if frame.pin_count <= 0:
+            raise BufferError_(f"page {page_id} must be pinned to be dirtied")
+        frame.dirty = True
+
+    # -- flushing ---------------------------------------------------------------
+
+    def flush_page(self, page_id: int) -> None:
+        """Write one resident page back to disk if dirty."""
+        frame_id = self._page_table.get(page_id)
+        if frame_id is None:
+            return
+        frame = self._frames[frame_id]
+        if frame.dirty:
+            assert frame.data is not None
+            self.disk.write_page(page_id, bytes(frame.data))
+            self.stats.physical_writes += 1
+            frame.dirty = False
+
+    def flush_all(self) -> None:
+        """Write every dirty resident page back to disk."""
+        for page_id in list(self._page_table):
+            self.flush_page(page_id)
+
+    def dirty_pages(self) -> list[tuple[int, bytes]]:
+        """Snapshot of every dirty resident page's (id, contents).
+
+        Used by the WAL: a commit logs these images without cleaning
+        them (no-force); they reach the main file on eviction or
+        checkpoint.
+        """
+        images = []
+        for page_id, frame_id in self._page_table.items():
+            frame = self._frames[frame_id]
+            if frame.dirty:
+                assert frame.data is not None
+                images.append((page_id, bytes(frame.data)))
+        return images
+
+    # -- introspection ------------------------------------------------------------
+
+    def is_resident(self, page_id: int) -> bool:
+        """True when the page currently occupies a frame."""
+        return page_id in self._page_table
+
+    def pin_count(self, page_id: int) -> int:
+        """Current pin count (0 when not resident)."""
+        frame_id = self._page_table.get(page_id)
+        if frame_id is None:
+            return 0
+        return self._frames[frame_id].pin_count
+
+    @property
+    def resident_pages(self) -> set[int]:
+        """Page ids currently cached."""
+        return set(self._page_table)
+
+    # -- internals ----------------------------------------------------------------
+
+    def _resident_frame(self, page_id: int) -> _Frame:
+        frame_id = self._page_table.get(page_id)
+        if frame_id is None:
+            raise PageError(f"page {page_id} is not resident")
+        return self._frames[frame_id]
+
+    def _grab_frame(self) -> int:
+        if self._free:
+            return self._free.pop()
+        candidates = [
+            frame_id
+            for frame_id, frame in enumerate(self._frames)
+            if frame.pin_count == 0
+        ]
+        if not candidates:
+            raise BufferFullError(
+                f"all {self.pool_size} frames are pinned; cannot evict"
+            )
+        victim = self.strategy.choose_victim(candidates)
+        if victim not in candidates:
+            raise BufferError_(
+                f"strategy {self.strategy.name} chose pinned/unknown frame {victim}"
+            )
+        self._evict(victim)
+        return victim
+
+    def _evict(self, frame_id: int) -> None:
+        frame = self._frames[frame_id]
+        assert frame.page_id is not None
+        if frame.dirty:
+            assert frame.data is not None
+            self.disk.write_page(frame.page_id, bytes(frame.data))
+            self.stats.physical_writes += 1
+        del self._page_table[frame.page_id]
+        self.strategy.on_page_evicted(frame_id)
+        frame.page_id = None
+        frame.data = None
+        frame.pin_count = 0
+        frame.dirty = False

@@ -1,0 +1,155 @@
+"""Heap file: an unordered collection of records over slotted pages.
+
+Records are addressed by :class:`RecordId` ``(page_id, slot)`` — the
+paper's object identifiers.  A free-space map (rebuilt on open, kept
+current on insert/delete) steers insertions to pages with room before
+new pages are allocated.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+from dataclasses import dataclass
+
+from repro.errors import PageError, RecordNotFound
+from repro.storm.buffer import BufferManager
+from repro.storm.page import HEADER_SIZE, SLOT_SIZE, SlottedPage
+
+
+@dataclass(frozen=True, slots=True, order=True)
+class RecordId:
+    """Physical address of one record: page number and slot number."""
+
+    page_id: int
+    slot: int
+
+    def __str__(self) -> str:
+        return f"rid({self.page_id}:{self.slot})"
+
+
+class HeapFile:
+    """Record storage over a :class:`BufferManager`."""
+
+    def __init__(self, buffer: BufferManager):
+        self.buffer = buffer
+        self.max_record_size = buffer.disk.page_size - HEADER_SIZE - SLOT_SIZE
+        # page_id -> post-compaction free bytes; rebuilt by scanning on open.
+        self._free_space: dict[int, int] = {}
+        self._record_count = 0
+        for page_id in range(buffer.disk.num_pages):
+            with buffer.pinned(page_id) as data:
+                page = SlottedPage(data)
+                self._free_space[page_id] = page.free_space
+                self._record_count += page.live_count
+
+    # -- operations -----------------------------------------------------------
+
+    def insert(self, record: bytes) -> RecordId:
+        """Store a record, extending the file if no page has room."""
+        if len(record) > self.max_record_size:
+            raise PageError(
+                f"record of {len(record)} bytes exceeds max "
+                f"{self.max_record_size} for this page size"
+            )
+        needed = len(record) + SLOT_SIZE
+        for page_id, free in self._free_space.items():
+            if free < needed:
+                continue
+            slot = self._try_insert(page_id, record)
+            if slot is not None:
+                self._record_count += 1
+                return RecordId(page_id, slot)
+        page_id, data = self.buffer.new_page()
+        try:
+            page = SlottedPage.format(data)
+            slot = page.insert(record)
+            assert slot is not None, "fresh page must fit a max-size record"
+            self.buffer.mark_dirty(page_id)
+            self._free_space[page_id] = page.free_space
+        finally:
+            self.buffer.unpin(page_id)
+        self._record_count += 1
+        return RecordId(page_id, slot)
+
+    def _try_insert(self, page_id: int, record: bytes) -> int | None:
+        with self.buffer.pinned(page_id) as data:
+            page = SlottedPage(data)
+            slot = page.insert(record)
+            if slot is not None:
+                self.buffer.mark_dirty(page_id)
+            self._free_space[page_id] = page.free_space
+            return slot
+
+    def read(self, rid: RecordId) -> bytes:
+        """Fetch the record at ``rid``; raises :class:`RecordNotFound`."""
+        self._check_page(rid)
+        with self.buffer.pinned(rid.page_id) as data:
+            page = SlottedPage(data)
+            try:
+                return page.read(rid.slot)
+            except PageError as exc:
+                raise RecordNotFound(f"no record at {rid}") from exc
+
+    def delete(self, rid: RecordId) -> None:
+        """Remove the record at ``rid``."""
+        self._check_page(rid)
+        with self.buffer.pinned(rid.page_id) as data:
+            page = SlottedPage(data)
+            try:
+                page.delete(rid.slot)
+            except PageError as exc:
+                raise RecordNotFound(f"no record at {rid}") from exc
+            self.buffer.mark_dirty(rid.page_id)
+            self._free_space[rid.page_id] = page.free_space
+        self._record_count -= 1
+
+    def exists(self, rid: RecordId) -> bool:
+        """True when ``rid`` addresses a live record."""
+        if not 0 <= rid.page_id < self.page_count:
+            return False
+        with self.buffer.pinned(rid.page_id) as data:
+            page = SlottedPage(data)
+            return rid.slot < page.slot_count and page.is_live(rid.slot)
+
+    def scan(self) -> Iterator[tuple[RecordId, bytes]]:
+        """Yield every live record, in page order."""
+        for page_id in range(self.page_count):
+            with self.buffer.pinned(page_id) as data:
+                page = SlottedPage(data)
+                records = list(page.records())
+            for slot, record in records:
+                yield RecordId(page_id, slot), record
+
+    def vacuum(self) -> int:
+        """Compact every page, squeezing out deletion holes.
+
+        Slot numbers (and therefore record ids) are preserved — only the
+        in-page layout changes.  Returns the number of bytes reclaimed
+        into contiguous free space across the file.
+        """
+        reclaimed = 0
+        for page_id in range(self.page_count):
+            with self.buffer.pinned(page_id) as data:
+                page = SlottedPage(data)
+                before = page.contiguous_free_space
+                page.compact()
+                after = page.contiguous_free_space
+                if after != before:
+                    self.buffer.mark_dirty(page_id)
+                    reclaimed += after - before
+                self._free_space[page_id] = page.free_space
+        return reclaimed
+
+    # -- introspection -----------------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        return self.buffer.disk.num_pages
+
+    @property
+    def record_count(self) -> int:
+        return self._record_count
+
+    def _check_page(self, rid: RecordId) -> None:
+        if not 0 <= rid.page_id < self.page_count:
+            raise RecordNotFound(f"no record at {rid} (page out of range)")

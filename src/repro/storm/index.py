@@ -1,0 +1,60 @@
+"""In-memory keyword inverted index over heap-file records.
+
+Maps each normalized keyword to the set of :class:`RecordId`s whose
+object carries that tag.  The index is a cache: it is rebuilt from a
+heap-file scan on open (:meth:`KeywordIndex.rebuild`) and kept current
+by the :class:`~repro.storm.store.StorM` facade on every put/delete, so
+it never needs its own persistence.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+
+from repro.storm.heapfile import RecordId
+from repro.storm.objects import normalize_keyword
+
+
+class KeywordIndex:
+    """keyword -> set of record ids."""
+
+    def __init__(self):
+        self._postings: dict[str, set[RecordId]] = {}
+
+    def add(self, rid: RecordId, keywords: Iterable[str]) -> None:
+        """Index ``rid`` under every keyword."""
+        for keyword in keywords:
+            self._postings.setdefault(normalize_keyword(keyword), set()).add(rid)
+
+    def remove(self, rid: RecordId, keywords: Iterable[str]) -> None:
+        """Drop ``rid`` from every keyword's postings."""
+        for keyword in keywords:
+            normalized = normalize_keyword(keyword)
+            postings = self._postings.get(normalized)
+            if postings is None:
+                continue
+            postings.discard(rid)
+            if not postings:
+                del self._postings[normalized]
+
+    def lookup(self, keyword: str) -> frozenset[RecordId]:
+        """Record ids tagged with ``keyword`` (empty set when absent)."""
+        return frozenset(self._postings.get(normalize_keyword(keyword), ()))
+
+    def rebuild(self, entries: Iterable[tuple[RecordId, Iterable[str]]]) -> None:
+        """Discard and reconstruct all postings from ``(rid, keywords)`` pairs."""
+        self._postings.clear()
+        for rid, keywords in entries:
+            self.add(rid, keywords)
+
+    def keywords(self) -> Iterator[str]:
+        """All indexed keywords."""
+        return iter(self._postings)
+
+    @property
+    def keyword_count(self) -> int:
+        return len(self._postings)
+
+    def posting_count(self, keyword: str) -> int:
+        """Number of records under ``keyword``."""
+        return len(self._postings.get(normalize_keyword(keyword), ()))

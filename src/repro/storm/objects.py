@@ -1,0 +1,90 @@
+"""The stored-object model: keyword-tagged byte payloads.
+
+The paper's experiment stores "1000 objects in StorM to be shared ...
+all objects [are] of the same size - 1K bytes", searchable by keyword.
+A :class:`StoredObject` couples a payload with its keyword tags and
+encodes to a compact, self-describing binary record::
+
+    u16 keyword_count
+    repeat: u16 keyword_byte_len, utf-8 keyword
+    u32 payload_len, payload bytes
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+from repro.errors import StormError
+
+_U16 = struct.Struct("<H")
+_U32 = struct.Struct("<I")
+
+
+def normalize_keyword(keyword: str) -> str:
+    """Canonical keyword form: case-folded, surrounding whitespace removed."""
+    return keyword.strip().casefold()
+
+
+@dataclass(frozen=True, slots=True)
+class StoredObject:
+    """An immutable sharable object: keyword tags plus an opaque payload."""
+
+    keywords: tuple[str, ...]
+    payload: bytes
+
+    def __post_init__(self):
+        normalized = tuple(normalize_keyword(keyword) for keyword in self.keywords)
+        if any(not keyword for keyword in normalized):
+            raise StormError("keywords must be non-empty")
+        object.__setattr__(self, "keywords", normalized)
+
+    def matches(self, keyword: str) -> bool:
+        """True when ``keyword`` (normalized) is one of this object's tags."""
+        return normalize_keyword(keyword) in self.keywords
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.payload)
+
+    # -- binary codec ---------------------------------------------------------
+
+    def encode(self) -> bytes:
+        """Serialize to the record format described in the module docstring."""
+        parts = [_U16.pack(len(self.keywords))]
+        for keyword in self.keywords:
+            raw = keyword.encode("utf-8")
+            if len(raw) > 0xFFFF:
+                raise StormError(f"keyword of {len(raw)} bytes is too long")
+            parts.append(_U16.pack(len(raw)))
+            parts.append(raw)
+        parts.append(_U32.pack(len(self.payload)))
+        parts.append(self.payload)
+        return b"".join(parts)
+
+    @classmethod
+    def decode(cls, data: bytes) -> "StoredObject":
+        """Inverse of :meth:`encode`; raises ``StormError`` on corruption."""
+        try:
+            offset = 0
+            (keyword_count,) = _U16.unpack_from(data, offset)
+            offset += _U16.size
+            keywords = []
+            for _ in range(keyword_count):
+                (length,) = _U16.unpack_from(data, offset)
+                offset += _U16.size
+                if offset + length > len(data):
+                    raise StormError("truncated keyword")
+                keywords.append(data[offset : offset + length].decode("utf-8"))
+                offset += length
+            (payload_len,) = _U32.unpack_from(data, offset)
+            offset += _U32.size
+            payload = bytes(data[offset : offset + payload_len])
+            if len(payload) != payload_len:
+                raise StormError("truncated payload")
+            if offset + payload_len != len(data):
+                raise StormError("trailing bytes after payload")
+            return cls(tuple(keywords), payload)
+        except (struct.error, UnicodeDecodeError) as exc:
+            raise StormError(f"corrupt object record: {exc}") from exc

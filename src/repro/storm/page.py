@@ -1,0 +1,184 @@
+"""Slotted-page record layout.
+
+Classic textbook layout over a fixed-size byte buffer::
+
+    +--------+-----------------------+---------------+------------------+
+    | header | records (grow up) ... | free space    | slot dir (down)  |
+    +--------+-----------------------+---------------+------------------+
+
+Header (4 bytes): ``u16 slot_count``, ``u16 free_ptr`` (offset of the
+next record byte).  Each slot-directory entry (4 bytes, allocated from
+the page end backwards) is ``u16 offset, u16 length``; ``offset == 0``
+marks a dead (deleted) slot, which is safe because live records start at
+offset 4 or later.  Deleting leaves a hole; :meth:`SlottedPage.insert`
+compacts the page lazily when contiguous free space is insufficient but
+total free space is not.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterator
+
+from repro.errors import PageError
+
+_HEADER = struct.Struct("<HH")
+_SLOT = struct.Struct("<HH")
+HEADER_SIZE = _HEADER.size
+SLOT_SIZE = _SLOT.size
+
+
+class SlottedPage:
+    """A mutable view of one page buffer with slotted-record semantics."""
+
+    def __init__(self, data: bytearray):
+        if len(data) < HEADER_SIZE + SLOT_SIZE:
+            raise PageError(f"page of {len(data)} bytes is too small")
+        if len(data) > 0xFFFF:
+            raise PageError(f"page of {len(data)} bytes exceeds u16 offsets")
+        self.data = data
+        self.page_size = len(data)
+
+    # -- construction ---------------------------------------------------------
+
+    @classmethod
+    def format(cls, data: bytearray) -> "SlottedPage":
+        """Initialize a zeroed buffer as an empty slotted page."""
+        page = cls(data)
+        _HEADER.pack_into(page.data, 0, 0, HEADER_SIZE)
+        return page
+
+    # -- header access --------------------------------------------------------
+
+    @property
+    def slot_count(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[0]
+
+    @property
+    def _free_ptr(self) -> int:
+        return _HEADER.unpack_from(self.data, 0)[1]
+
+    def _set_header(self, slot_count: int, free_ptr: int) -> None:
+        _HEADER.pack_into(self.data, 0, slot_count, free_ptr)
+
+    def _slot_entry(self, slot: int) -> tuple[int, int]:
+        if not 0 <= slot < self.slot_count:
+            raise PageError(f"slot {slot} out of range [0, {self.slot_count})")
+        position = self.page_size - SLOT_SIZE * (slot + 1)
+        return _SLOT.unpack_from(self.data, position)
+
+    def _set_slot_entry(self, slot: int, offset: int, length: int) -> None:
+        position = self.page_size - SLOT_SIZE * (slot + 1)
+        _SLOT.pack_into(self.data, position, offset, length)
+
+    # -- capacity -------------------------------------------------------------
+
+    @property
+    def _dir_start(self) -> int:
+        return self.page_size - SLOT_SIZE * self.slot_count
+
+    @property
+    def contiguous_free_space(self) -> int:
+        """Bytes immediately available without compaction."""
+        return self._dir_start - self._free_ptr
+
+    @property
+    def live_bytes(self) -> int:
+        """Total bytes occupied by live records."""
+        return sum(
+            length
+            for slot in range(self.slot_count)
+            for offset, length in [self._slot_entry(slot)]
+            if offset != 0
+        )
+
+    @property
+    def free_space(self) -> int:
+        """Bytes available after compaction (excluding a new slot entry)."""
+        return self._dir_start - HEADER_SIZE - self.live_bytes
+
+    def has_room_for(self, record_size: int) -> bool:
+        """Can ``insert`` of this size succeed (possibly after compaction)?"""
+        if self._has_dead_slot():
+            return self.free_space >= record_size
+        return self.free_space >= record_size + SLOT_SIZE
+
+    def _has_dead_slot(self) -> bool:
+        return any(
+            self._slot_entry(slot)[0] == 0 for slot in range(self.slot_count)
+        )
+
+    # -- record operations ------------------------------------------------------
+
+    def insert(self, record: bytes) -> int | None:
+        """Store a record; returns its slot number, or None if it cannot fit."""
+        if len(record) > 0xFFFF:
+            raise PageError(f"record of {len(record)} bytes exceeds u16 length")
+        reused_slot = self._find_dead_slot()
+        new_dir_bytes = 0 if reused_slot is not None else SLOT_SIZE
+        if self.free_space < len(record) + new_dir_bytes:
+            return None
+        # Fits after compaction at worst; compact only if the contiguous
+        # gap between the record area and the slot directory is too small.
+        if self._dir_start - new_dir_bytes - self._free_ptr < len(record):
+            self.compact()
+        offset = self._free_ptr
+        self.data[offset : offset + len(record)] = record
+        if reused_slot is None:
+            slot = self.slot_count
+            self._set_header(self.slot_count + 1, offset + len(record))
+        else:
+            slot = reused_slot
+            self._set_header(self.slot_count, offset + len(record))
+        self._set_slot_entry(slot, offset, len(record))
+        return slot
+
+    def _find_dead_slot(self) -> int | None:
+        for slot in range(self.slot_count):
+            if self._slot_entry(slot)[0] == 0:
+                return slot
+        return None
+
+    def read(self, slot: int) -> bytes:
+        """Return the record stored in ``slot``; raises on a dead slot."""
+        offset, length = self._slot_entry(slot)
+        if offset == 0:
+            raise PageError(f"slot {slot} is deleted")
+        return bytes(self.data[offset : offset + length])
+
+    def delete(self, slot: int) -> None:
+        """Mark a slot dead (space reclaimed by lazy compaction)."""
+        offset, _length = self._slot_entry(slot)
+        if offset == 0:
+            raise PageError(f"slot {slot} is already deleted")
+        self._set_slot_entry(slot, 0, 0)
+
+    def is_live(self, slot: int) -> bool:
+        """True when ``slot`` holds a live record."""
+        return self._slot_entry(slot)[0] != 0
+
+    def records(self) -> Iterator[tuple[int, bytes]]:
+        """Yield ``(slot, record)`` for every live record."""
+        for slot in range(self.slot_count):
+            offset, length = self._slot_entry(slot)
+            if offset != 0:
+                yield slot, bytes(self.data[offset : offset + length])
+
+    @property
+    def live_count(self) -> int:
+        """Number of live records."""
+        return sum(1 for _ in self.records())
+
+    def compact(self) -> None:
+        """Squeeze out holes left by deletions; slot numbers are preserved."""
+        live = [
+            (slot, self.read(slot))
+            for slot in range(self.slot_count)
+            if self.is_live(slot)
+        ]
+        write_ptr = HEADER_SIZE
+        for slot, record in live:
+            self.data[write_ptr : write_ptr + len(record)] = record
+            self._set_slot_entry(slot, write_ptr, len(record))
+            write_ptr += len(record)
+        self._set_header(self.slot_count, write_ptr)

@@ -1,0 +1,101 @@
+"""Persistent keyword index: the inverted index, on pages.
+
+Wraps :class:`~repro.storm.btree.BPlusTree` with secondary-index
+semantics: each posting is one composite entry
+
+    u16 keyword-byte-length ++ keyword utf-8 ++ u32 page ++ u16 slot
+
+so all postings of one keyword are contiguous and a keyword lookup is a
+prefix scan.  Unlike the in-memory :class:`~repro.storm.index.KeywordIndex`,
+this survives restarts without an O(N) heap rescan — the trade the
+original StorM made for its persistent object indexes.
+"""
+
+from __future__ import annotations
+
+import struct
+from collections.abc import Iterable, Iterator
+
+from repro.errors import StormError
+from repro.storm.btree import BPlusTree
+from repro.storm.buffer import BufferManager
+from repro.storm.heapfile import RecordId
+from repro.storm.objects import normalize_keyword
+
+_LEN = struct.Struct("<H")
+_RID = struct.Struct("<IH")
+
+
+class PersistentKeywordIndex:
+    """keyword -> record ids, stored in a page-resident B+-tree."""
+
+    def __init__(self, buffer: BufferManager):
+        self.tree = BPlusTree(buffer)
+        self.buffer = buffer
+
+    # -- entry codec --------------------------------------------------------
+
+    @staticmethod
+    def _prefix(keyword: str) -> bytes:
+        raw = normalize_keyword(keyword).encode("utf-8")
+        if len(raw) > 0xFFFF:
+            raise StormError(f"keyword of {len(raw)} bytes is too long")
+        return _LEN.pack(len(raw)) + raw
+
+    @classmethod
+    def _entry(cls, keyword: str, rid: RecordId) -> bytes:
+        return cls._prefix(keyword) + _RID.pack(rid.page_id, rid.slot)
+
+    @staticmethod
+    def _decode(entry: bytes) -> tuple[str, RecordId]:
+        (length,) = _LEN.unpack_from(entry, 0)
+        keyword = entry[_LEN.size : _LEN.size + length].decode("utf-8")
+        page_id, slot = _RID.unpack_from(entry, _LEN.size + length)
+        return keyword, RecordId(page_id, slot)
+
+    # -- mutation -------------------------------------------------------------
+
+    def add(self, rid: RecordId, keywords: Iterable[str]) -> None:
+        """Index ``rid`` under every keyword (idempotent per pair)."""
+        for keyword in keywords:
+            self.tree.insert(self._entry(keyword, rid))
+
+    def remove(self, rid: RecordId, keywords: Iterable[str]) -> None:
+        """Drop ``rid`` from every keyword's postings (missing ok)."""
+        for keyword in keywords:
+            self.tree.delete(self._entry(keyword, rid))
+
+    # -- queries -----------------------------------------------------------------
+
+    def lookup(self, keyword: str) -> frozenset[RecordId]:
+        """Record ids posted under ``keyword``."""
+        prefix = self._prefix(keyword)
+        return frozenset(
+            self._decode(entry)[1] for entry in self.tree.scan_prefix(prefix)
+        )
+
+    def posting_count(self, keyword: str) -> int:
+        return sum(1 for _ in self.tree.scan_prefix(self._prefix(keyword)))
+
+    def keywords(self) -> Iterator[str]:
+        """All indexed keywords, each once, in order."""
+        previous = None
+        for entry in self.tree.scan_all():
+            keyword, _rid = self._decode(entry)
+            if keyword != previous:
+                previous = keyword
+                yield keyword
+
+    @property
+    def keyword_count(self) -> int:
+        return sum(1 for _ in self.keywords())
+
+    def rebuild(self, entries: Iterable[tuple[RecordId, Iterable[str]]]) -> None:
+        """Re-add postings (the tree keeps whatever is already there;
+        call only on an empty index)."""
+        for rid, keywords in entries:
+            self.add(rid, keywords)
+
+    def flush(self) -> None:
+        """Write all dirty index pages through to the disk."""
+        self.buffer.flush_all()

@@ -1,0 +1,273 @@
+"""The StorM facade: what a BestPeer node programs against.
+
+Composes disk + buffer manager + heap file + keyword index behind the
+small API the paper's StorM agent needs: store keyword-tagged objects,
+look them up by record id, and search by keyword — either through the
+inverted index or by the full object scan the paper's agent performs
+("the agent makes a comparison for each object stored in the
+Shared-StorM database with its query").
+
+Search results carry ``objects_examined`` and a buffer-stats delta so
+the simulation layer can convert real buffer behaviour into simulated
+agent service time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import StorageClosedError, StormError
+from repro.storm.buffer import AccessStats, BufferManager
+from repro.storm.disk import Disk, InMemoryDisk
+from repro.storm.heapfile import HeapFile, RecordId
+from repro.storm.index import KeywordIndex
+from repro.storm.objects import StoredObject
+from repro.storm.replacement import ReplacementStrategy
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one keyword search at one node."""
+
+    keyword: str
+    matches: list[tuple[RecordId, StoredObject]] = field(default_factory=list)
+    #: how many stored objects were compared against the query
+    objects_examined: int = 0
+    #: buffer activity caused by this search
+    io: AccessStats = field(default_factory=AccessStats)
+
+    @property
+    def match_count(self) -> int:
+        return len(self.matches)
+
+    @property
+    def answer_bytes(self) -> int:
+        """Total payload bytes across matches."""
+        return sum(obj.size for _, obj in self.matches)
+
+
+class StorM:
+    """A node-local persistent object store with keyword search."""
+
+    def __init__(
+        self,
+        disk: Disk | None = None,
+        pool_size: int = 512,
+        strategy: ReplacementStrategy | None = None,
+        index_disk: Disk | None = None,
+        index_pool_size: int = 64,
+        wal_path: str | None = None,
+    ):
+        self.disk = disk if disk is not None else InMemoryDisk()
+        self._closed = False
+        if wal_path is not None:
+            # Crash recovery happens before anything reads the heap:
+            # committed page images in the log supersede the heap file.
+            from repro.storm.wal import WriteAheadLog
+
+            self.wal: WriteAheadLog | None = WriteAheadLog(wal_path)
+            self._recover_from_wal()
+        else:
+            self.wal = None
+        self.buffer = BufferManager(self.disk, pool_size=pool_size, strategy=strategy)
+        self.heap = HeapFile(self.buffer)
+        if index_disk is not None:
+            # Persistent index: survives reopen with no heap rescan.
+            from repro.storm.pindex import PersistentKeywordIndex
+
+            self.index_disk: Disk | None = index_disk
+            index_buffer = BufferManager(index_disk, pool_size=index_pool_size)
+            fresh_index = index_disk.num_pages == 0
+            self.index = PersistentKeywordIndex(index_buffer)
+            if fresh_index and self.heap.record_count:
+                self.index.rebuild(self._index_entries())
+        else:
+            self.index_disk = None
+            self.index = KeywordIndex()
+            if self.heap.record_count:
+                self.index.rebuild(self._index_entries())
+
+    def _index_entries(self):
+        return (
+            (rid, StoredObject.decode(record).keywords)
+            for rid, record in self.heap.scan()
+        )
+
+    def _recover_from_wal(self) -> None:
+        """Replay committed page images onto the heap disk, then reset."""
+        assert self.wal is not None
+        replayed = 0
+        for _lsn, page_id, data in self.wal.replay():
+            while page_id >= self.disk.num_pages:
+                self.disk.allocate_page()
+            self.disk.write_page(page_id, data)
+            replayed += 1
+        if replayed:
+            self.wal.truncate()
+
+    # -- mutation ----------------------------------------------------------------
+
+    def put(self, keywords: Iterable[str], payload: bytes) -> RecordId:
+        """Store a new sharable object; returns its record id."""
+        self._check_open()
+        obj = StoredObject(tuple(keywords), bytes(payload))
+        rid = self.heap.insert(obj.encode())
+        self.index.add(rid, obj.keywords)
+        return rid
+
+    def delete(self, rid: RecordId) -> None:
+        """Remove an object (and its index postings)."""
+        self._check_open()
+        obj = self.get(rid)
+        self.heap.delete(rid)
+        self.index.remove(rid, obj.keywords)
+
+    # -- lookup ------------------------------------------------------------------
+
+    def get(self, rid: RecordId) -> StoredObject:
+        """Fetch one object by record id."""
+        self._check_open()
+        return StoredObject.decode(self.heap.read(rid))
+
+    def scan(self) -> Iterator[tuple[RecordId, StoredObject]]:
+        """Yield every stored object in page order."""
+        self._check_open()
+        for rid, record in self.heap.scan():
+            yield rid, StoredObject.decode(record)
+
+    def search(self, keyword: str) -> SearchResult:
+        """Keyword search via the inverted index (reads only matching pages)."""
+        self._check_open()
+        before = self.buffer.stats.snapshot()
+        result = SearchResult(keyword)
+        rids = sorted(self.index.lookup(keyword), key=lambda r: (r.page_id, r.slot))
+        for rid in rids:
+            result.matches.append((rid, self.get(rid)))
+        result.objects_examined = len(rids)
+        result.io = self.buffer.stats.since(before)
+        return result
+
+    def search_scan(self, keyword: str) -> SearchResult:
+        """Keyword search by full scan — the paper's StorM agent behaviour.
+
+        Every stored object is compared against the query, touching every
+        page of the heap file; this is the default query path in the
+        reproduction because it is what the evaluated prototype did.
+        """
+        self._check_open()
+        before = self.buffer.stats.snapshot()
+        result = SearchResult(keyword)
+        for rid, obj in self.scan():
+            result.objects_examined += 1
+            if obj.matches(keyword):
+                result.matches.append((rid, obj))
+        result.io = self.buffer.stats.since(before)
+        return result
+
+    def grep(self, needle: bytes) -> SearchResult:
+        """Content search: objects whose *payload* contains ``needle``.
+
+        This is the finer granularity the paper motivates ("most of the
+        existing P2P systems ... ignore the content of the file"): a
+        full scan comparing payload bytes, with the same cost accounting
+        as :meth:`search_scan`.
+        """
+        self._check_open()
+        needle = bytes(needle)
+        before = self.buffer.stats.snapshot()
+        result = SearchResult(keyword=f"grep:{needle!r}")
+        for rid, obj in self.scan():
+            result.objects_examined += 1
+            if needle in obj.payload:
+                result.matches.append((rid, obj))
+        result.io = self.buffer.stats.since(before)
+        return result
+
+    def vacuum(self) -> int:
+        """Compact deletion holes in the heap; returns bytes reclaimed."""
+        self._check_open()
+        return self.heap.vacuum()
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def count(self) -> int:
+        """Number of stored objects."""
+        return self.heap.record_count
+
+    @property
+    def stats(self) -> AccessStats:
+        """Cumulative buffer statistics."""
+        return self.buffer.stats
+
+    def flush(self) -> None:
+        """Write all dirty pages (heap and index) to the backing disks."""
+        self._check_open()
+        self.buffer.flush_all()
+        if self.index_disk is not None:
+            self.index.flush()
+
+    # -- durability (WAL) -----------------------------------------------------------
+
+    def commit(self) -> None:
+        """Make everything stored so far crash-durable.
+
+        Logs the image of every dirty page plus a commit marker and
+        syncs the WAL — one sequential write.  Data pages stay dirty in
+        the pool (no-force); they reach the heap file on eviction or at
+        the next :meth:`checkpoint`.
+        """
+        self._check_open()
+        if self.wal is None:
+            raise StormError("this store was opened without a WAL")
+        for page_id, image in self.buffer.dirty_pages():
+            self.wal.append(page_id, image)
+        self.wal.mark_commit()
+        self.wal.sync()
+
+    def checkpoint(self) -> None:
+        """Flush data pages, then truncate the (now redundant) log."""
+        self._check_open()
+        if self.wal is None:
+            raise StormError("this store was opened without a WAL")
+        self.buffer.flush_all()
+        if hasattr(self.disk, "flush"):
+            self.disk.flush()
+        self.wal.truncate()
+
+    def crash(self) -> None:
+        """Abandon the store as a crash would: dirty pool contents are
+        lost, nothing is flushed.  For durability tests."""
+        if self._closed:
+            return
+        self.disk.close()
+        if self.wal is not None:
+            self.wal.close()
+        if self.index_disk is not None:
+            self.index_disk.close()
+        self._closed = True
+
+    def close(self) -> None:
+        """Flush and release the backing disk(s) (idempotent)."""
+        if self._closed:
+            return
+        self.buffer.flush_all()
+        if self.wal is not None:
+            self.wal.truncate()  # everything is in the heap file now
+            self.wal.close()
+        self.disk.close()
+        if self.index_disk is not None:
+            self.index.flush()
+            self.index_disk.close()
+        self._closed = True
+
+    def __enter__(self) -> "StorM":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StorageClosedError("StorM store is closed")

@@ -1,0 +1,138 @@
+"""Write-ahead logging: commit durability for StorM.
+
+A minimal physical-redo WAL in the classic style: :meth:`StorM.commit`
+appends the full image of every dirty page to the log and syncs it —
+one sequential write — while the data pages themselves stay dirty in
+the buffer pool (a *no-force* policy).  After a crash, reopening the
+store replays the log onto the heap file, then checkpoints and
+truncates.
+
+Log record layout (little-endian)::
+
+    u32 magic | u64 lsn | u32 page_id | u32 length | page bytes | u32 crc
+
+The CRC covers everything before it; replay stops at the first record
+that is short or fails its CRC — a torn tail from a crash mid-append is
+expected and harmless, because an incomplete commit must not apply.
+Commit boundaries are marked with a record whose ``page_id`` is
+``COMMIT_MARKER``; replay only applies page images from fully committed
+batches.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from collections.abc import Iterator
+
+from repro.errors import StormError
+
+_HEADER = struct.Struct("<IQII")
+_CRC = struct.Struct("<I")
+_MAGIC = 0x57A10001
+#: pseudo page id marking the end of one committed batch
+COMMIT_MARKER = 0xFFFFFFFF
+
+
+class WriteAheadLog:
+    """Append-only physical redo log."""
+
+    def __init__(self, path: str):
+        self.path = path
+        exists = os.path.exists(path)
+        self._file = open(path, "r+b" if exists else "w+b")
+        self._file.seek(0, os.SEEK_END)
+        self._next_lsn = 0
+        self._closed = False
+
+    # -- writing ------------------------------------------------------------------
+
+    def append(self, page_id: int, data: bytes) -> int:
+        """Append one page image; returns its LSN.  Not yet durable —
+        call :meth:`sync` (commit) to force it out."""
+        self._check_open()
+        lsn = self._next_lsn
+        self._next_lsn += 1
+        header = _HEADER.pack(_MAGIC, lsn, page_id, len(data))
+        crc = zlib.crc32(header)
+        crc = zlib.crc32(data, crc)
+        self._file.write(header)
+        self._file.write(data)
+        self._file.write(_CRC.pack(crc))
+        return lsn
+
+    def mark_commit(self) -> int:
+        """Append a commit boundary record."""
+        return self.append(COMMIT_MARKER, b"")
+
+    def sync(self) -> None:
+        """Force appended records to stable storage."""
+        self._check_open()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    # -- recovery -------------------------------------------------------------------
+
+    def replay(self) -> Iterator[tuple[int, int, bytes]]:
+        """Yield ``(lsn, page_id, data)`` for every *committed* record.
+
+        Records after the last commit marker (or after a torn/corrupt
+        record) are discarded, exactly as a crash-consistent recovery
+        must.
+        """
+        self._check_open()
+        pending: list[tuple[int, int, bytes]] = []
+        self._file.seek(0)
+        while True:
+            header = self._file.read(_HEADER.size)
+            if len(header) < _HEADER.size:
+                break  # clean end or torn header
+            magic, lsn, page_id, length = _HEADER.unpack(header)
+            if magic != _MAGIC:
+                break  # corruption: stop replaying
+            data = self._file.read(length)
+            crc_bytes = self._file.read(_CRC.size)
+            if len(data) < length or len(crc_bytes) < _CRC.size:
+                break  # torn tail
+            expected = zlib.crc32(header)
+            expected = zlib.crc32(data, expected)
+            if _CRC.unpack(crc_bytes)[0] != expected:
+                break  # bit rot or torn write
+            self._next_lsn = max(self._next_lsn, lsn + 1)
+            if page_id == COMMIT_MARKER:
+                yield from pending
+                pending.clear()
+            else:
+                pending.append((lsn, page_id, data))
+        # `pending` (an uncommitted batch) is deliberately dropped.
+        self._file.seek(0, os.SEEK_END)
+
+    def truncate(self) -> None:
+        """Discard the whole log (after a checkpoint made it redundant)."""
+        self._check_open()
+        self._file.seek(0)
+        self._file.truncate()
+        self._file.flush()
+        os.fsync(self._file.fileno())
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def size_bytes(self) -> int:
+        self._check_open()
+        position = self._file.tell()
+        self._file.seek(0, os.SEEK_END)
+        size = self._file.tell()
+        self._file.seek(position)
+        return size
+
+    def close(self) -> None:
+        if not self._closed:
+            self._file.flush()
+            self._file.close()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise StormError(f"WAL {self.path} is closed")

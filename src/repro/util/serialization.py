@@ -1,0 +1,33 @@
+"""Payload serialization.
+
+Agents, answers, and control messages are serialized with :mod:`pickle`
+(the Python analogue of the Java serialization the prototype used) so that
+the *real* byte size of each message feeds the simulated transmission-cost
+model.  The simulation is single-process and the payloads are produced by
+this library itself, so pickle's trust model is acceptable here; shipping
+of agent *code* goes through the explicit source-shipping path in
+:mod:`repro.agents.codeship` instead of pickled classes.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any
+
+#: Protocol pinned for deterministic sizes across interpreter versions.
+PICKLE_PROTOCOL = 4
+
+
+def serialize(obj: Any) -> bytes:
+    """Serialize ``obj`` to bytes."""
+    return pickle.dumps(obj, protocol=PICKLE_PROTOCOL)
+
+
+def deserialize(data: bytes) -> Any:
+    """Inverse of :func:`serialize`."""
+    return pickle.loads(data)
+
+
+def serialized_size(obj: Any) -> int:
+    """Size in bytes of ``obj``'s serialized form (uncompressed)."""
+    return len(serialize(obj))

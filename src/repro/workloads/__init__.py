@@ -1,0 +1,15 @@
+"""Synthetic workloads matching the paper's experimental setup."""
+
+from repro.workloads.corpus import KeywordCorpus, ObjectSpec, generate_objects
+from repro.workloads.placement import AnswerPlacement
+from repro.workloads.queries import QueryWorkload
+from repro.workloads.replication import ReplicationSpec
+
+__all__ = [
+    "KeywordCorpus",
+    "ObjectSpec",
+    "generate_objects",
+    "AnswerPlacement",
+    "QueryWorkload",
+    "ReplicationSpec",
+]

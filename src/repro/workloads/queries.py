@@ -1,0 +1,54 @@
+"""Query workload generation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.util.randomness import derive_rng
+from repro.workloads.corpus import KeywordCorpus
+
+
+@dataclass(frozen=True)
+class QueryWorkload:
+    """A deterministic stream of query keywords.
+
+    ``skew`` controls popularity: 0 is uniform over the corpus; larger
+    values Zipf-concentrate queries on low-index keywords, the classic
+    model for content popularity in file-sharing networks.
+    """
+
+    corpus: KeywordCorpus
+    skew: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.skew < 0:
+            raise WorkloadError(f"skew must be >= 0, got {self.skew}")
+
+    def keywords(self, count: int) -> list[str]:
+        """The first ``count`` query keywords of this workload."""
+        if count < 0:
+            raise WorkloadError(f"count must be >= 0, got {count}")
+        rng = derive_rng(self.seed, "queries", self.skew)
+        if self.skew == 0.0:
+            return [
+                self.corpus.keyword(rng.randrange(self.corpus.size))
+                for _ in range(count)
+            ]
+        weights = [1.0 / (rank + 1) ** self.skew for rank in range(self.corpus.size)]
+        total = sum(weights)
+        cumulative = []
+        running = 0.0
+        for weight in weights:
+            running += weight / total
+            cumulative.append(running)
+        chosen = []
+        for _ in range(count):
+            point = rng.random()
+            index = next(
+                (i for i, edge in enumerate(cumulative) if point <= edge),
+                self.corpus.size - 1,
+            )
+            chosen.append(self.corpus.keyword(index))
+        return chosen

@@ -1,0 +1,84 @@
+"""Tests for the network builder."""
+
+import pytest
+
+from repro.agents.costs import AgentCosts
+from repro.core import BestPeerConfig, build_network
+from repro.core.builder import BestPeerNetwork
+from repro.errors import BestPeerError
+from repro.topology import line, ring
+from repro.util.compression import IdentityCodec
+from repro.util.tracing import Tracer
+
+FAST = AgentCosts(
+    class_install_time=0.002,
+    state_install_time=0.001,
+    execute_overhead=0.0,
+    page_io_time=0.0,
+    object_match_time=0.0,
+)
+
+
+def config(**overrides):
+    defaults = dict(agent_costs=FAST)
+    defaults.update(overrides)
+    return BestPeerConfig(**defaults)
+
+
+class TestBuildValidation:
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(BestPeerError):
+            build_network(0)
+
+    def test_zero_liglos_rejected(self):
+        with pytest.raises(BestPeerError):
+            build_network(2, liglo_count=0)
+
+    def test_topology_size_mismatch(self):
+        with pytest.raises(BestPeerError):
+            build_network(3, topology=line(4))
+
+    def test_liglo_round_robin(self):
+        net = build_network(6, config=config(), liglo_count=2)
+        by_server = {}
+        for node in net.nodes:
+            by_server.setdefault(node.bpid.liglo_id, []).append(node)
+        assert sorted(len(v) for v in by_server.values()) == [3, 3]
+
+    def test_custom_codec_threaded_through(self):
+        net = build_network(
+            2, config=config(), topology=line(2), codec=IdentityCodec()
+        )
+        assert net.network.codec.name == "identity"
+
+    def test_tracer_threaded_through(self):
+        tracer = Tracer()
+        net = build_network(2, config=config(), topology=line(2), tracer=tracer)
+        assert tracer.count("liglo", "register") == 2
+
+
+class TestApplyTopology:
+    def test_reapplying_replaces_links(self):
+        net = build_network(4, config=config(), topology=line(4))
+        assert len(net.nodes[1].peers) == 2
+        net.apply_topology(ring(4))
+        assert len(net.nodes[0].peers) == 2
+        assert net.nodes[3].bpid in net.nodes[0].peers
+
+    def test_size_mismatch_rejected(self):
+        net = build_network(4, config=config(), topology=line(4))
+        with pytest.raises(BestPeerError):
+            net.apply_topology(line(5))
+
+    def test_populate_and_skip_base(self):
+        net = build_network(3, config=config(), topology=line(3))
+        filled = []
+        net.populate(lambda node, index: filled.append(index), skip_base=True)
+        assert filled == [1, 2]
+
+    def test_accessors(self):
+        net = build_network(3, config=config(), topology=line(3))
+        assert isinstance(net, BestPeerNetwork)
+        assert net.base is net.nodes[0]
+        assert net.node(2) is net.nodes[2]
+        assert len(net) == 3

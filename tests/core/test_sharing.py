@@ -1,0 +1,73 @@
+"""Unit tests for the sharing primitives."""
+
+import pytest
+
+from repro.core.sharing import ActiveObject, ShareCatalog
+from repro.errors import AccessDeniedError, SharingError
+from repro.ids import BPID
+
+
+def everyone(requester, credential, data):
+    return data
+
+
+class TestActiveObject:
+    def test_render_runs_element(self):
+        obj = ActiveObject("doc", b"content", everyone)
+        assert obj.render(BPID("l", 1), "any") == b"content"
+
+    def test_element_sees_requester_and_credential(self):
+        seen = []
+
+        def element(requester, credential, data):
+            seen.append((requester, credential))
+            return data
+
+        obj = ActiveObject("doc", b"x", element)
+        obj.render(BPID("l", 7), "token")
+        assert seen == [(BPID("l", 7), "token")]
+
+    def test_denial_propagates(self):
+        def deny(requester, credential, data):
+            raise AccessDeniedError("no")
+
+        obj = ActiveObject("doc", b"x", deny)
+        with pytest.raises(AccessDeniedError):
+            obj.render(BPID("l", 1), "any")
+
+    def test_data_copied(self):
+        source = bytearray(b"mutable")
+        obj = ActiveObject("doc", source, everyone)
+        source[0] = ord("X")
+        assert obj.data == b"mutable"
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(SharingError):
+            ActiveObject("", b"x", everyone)
+
+
+class TestShareCatalog:
+    def test_register_get_unregister(self):
+        catalog = ShareCatalog()
+        obj = ActiveObject("a", b"x", everyone)
+        catalog.register(obj)
+        assert catalog.get("a") is obj
+        assert catalog.names() == ["a"]
+        catalog.unregister("a")
+        assert catalog.get("a") is None
+
+    def test_duplicate_rejected(self):
+        catalog = ShareCatalog()
+        catalog.register(ActiveObject("a", b"x", everyone))
+        with pytest.raises(SharingError):
+            catalog.register(ActiveObject("a", b"y", everyone))
+
+    def test_unregister_missing_rejected(self):
+        with pytest.raises(SharingError):
+            ShareCatalog().unregister("ghost")
+
+    def test_names_sorted(self):
+        catalog = ShareCatalog()
+        for name in ["zebra", "alpha", "mid"]:
+            catalog.register(ActiveObject(name, b"", everyone))
+        assert catalog.names() == ["alpha", "mid", "zebra"]

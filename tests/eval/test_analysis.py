@@ -1,0 +1,145 @@
+"""Tests for series analysis and ASCII plotting."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.analysis import (
+    crossover,
+    dominates,
+    growth_factor,
+    is_flat,
+    is_monotone_decreasing,
+    is_monotone_increasing,
+    speedup,
+    summarize_shapes,
+)
+from repro.eval.experiment import FigureResult
+from repro.eval.plot import render_ascii_plot
+
+
+def figure(**series):
+    result = FigureResult("F", "test", "x", "y")
+    for name, points in series.items():
+        for x, y in points:
+            result.add_point(name, x, y)
+    return result
+
+
+class TestSpeedup:
+    def test_pointwise_ratio(self):
+        result = figure(slow=[(1, 4.0), (2, 9.0)], fast=[(1, 2.0), (2, 3.0)])
+        assert speedup(result, "slow", "fast") == [2.0, 3.0]
+
+    def test_skips_unshared_x(self):
+        result = figure(slow=[(1, 4.0), (3, 8.0)], fast=[(1, 2.0)])
+        assert speedup(result, "slow", "fast") == [2.0]
+
+    def test_no_shared_x_raises(self):
+        result = figure(slow=[(1, 4.0)], fast=[(2, 2.0)])
+        with pytest.raises(ExperimentError):
+            speedup(result, "slow", "fast")
+
+    def test_zero_denominator_raises(self):
+        result = figure(slow=[(1, 4.0)], fast=[(1, 0.0)])
+        with pytest.raises(ExperimentError):
+            speedup(result, "slow", "fast")
+
+
+class TestCrossover:
+    def test_finds_first_crossing(self):
+        result = figure(
+            cs=[(1, 1.0), (2, 3.0), (3, 5.0)],
+            bp=[(1, 2.0), (2, 2.5), (3, 3.0)],
+        )
+        # CS is below BP at x=1, crosses at x=2.
+        assert crossover(result, "cs", "bp") == 2
+
+    def test_no_crossover(self):
+        result = figure(a=[(1, 1.0), (2, 1.0)], b=[(1, 2.0), (2, 2.0)])
+        assert crossover(result, "a", "b") is None
+
+    def test_crossed_from_start(self):
+        result = figure(a=[(1, 5.0)], b=[(1, 2.0)])
+        assert crossover(result, "a", "b") == 1
+
+
+class TestShapePredicates:
+    def test_is_flat(self):
+        assert is_flat([1.0, 1.05, 0.99])
+        assert not is_flat([1.0, 2.0])
+        assert is_flat([0.0, 0.0])
+        with pytest.raises(ExperimentError):
+            is_flat([])
+
+    def test_monotone(self):
+        assert is_monotone_increasing([1, 2, 3])
+        assert not is_monotone_increasing([1, 3, 2])
+        assert is_monotone_increasing([1, 0.99, 2], slack=0.05)
+        assert is_monotone_decreasing([3, 2, 1])
+        assert not is_monotone_decreasing([1, 2])
+
+    def test_dominates(self):
+        result = figure(bp=[(1, 1.0), (2, 2.0)], gnutella=[(1, 1.5), (2, 2.5)])
+        assert dominates(result, "bp", "gnutella")
+        assert not dominates(result, "gnutella", "bp")
+
+    def test_growth_factor(self):
+        assert growth_factor([2.0, 4.0, 8.0]) == 4.0
+        with pytest.raises(ExperimentError):
+            growth_factor([1.0])
+        with pytest.raises(ExperimentError):
+            growth_factor([0.0, 1.0])
+
+    def test_summarize_shapes(self):
+        result = figure(a=[(1, 1.0), (2, 4.0)])
+        summary = summarize_shapes(result)
+        assert summary["a"]["first"] == 1.0
+        assert summary["a"]["last"] == 4.0
+        assert summary["a"]["growth"] == 4.0
+        assert summary["a"]["flat(10%)"] is False
+
+
+class TestAsciiPlot:
+    def test_renders_markers_and_legend(self):
+        result = figure(
+            BPR=[(1, 1.0), (2, 2.0), (3, 3.0)],
+            CS=[(1, 3.0), (2, 2.0), (3, 1.0)],
+        )
+        text = render_ascii_plot(result, width=32, height=8)
+        assert "A=BPR" in text
+        assert "B=CS" in text
+        assert "A" in text and "B" in text
+        # The crossing point (2, 2.0) is shared: overlap marker.
+        assert "*" in text
+
+    def test_single_point_series(self):
+        result = figure(only=[(1, 5.0)])
+        text = render_ascii_plot(result)
+        assert "A=only" in text
+
+    def test_axis_labels_present(self):
+        result = figure(a=[(0, 0.0), (10, 100.0)])
+        text = render_ascii_plot(result)
+        assert "100" in text
+        assert "10" in text
+
+    def test_too_small_area_rejected(self):
+        result = figure(a=[(1, 1.0)])
+        with pytest.raises(ExperimentError):
+            render_ascii_plot(result, width=4, height=2)
+
+    def test_empty_figure_rejected(self):
+        with pytest.raises(ExperimentError):
+            render_ascii_plot(FigureResult("F", "t", "x", "y"))
+
+
+class TestCliPlotFlag:
+    def test_figure_with_plot(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["figure", "5c", "--objects", "20", "--queries", "2", "--plot"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "legend:" in out

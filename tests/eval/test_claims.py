@@ -1,0 +1,98 @@
+"""Tests for the executable paper claims."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.claims import CLAIMS, verify_all, verify_figure
+from repro.eval.experiment import FigureResult
+
+
+def figure(**series):
+    result = FigureResult("F", "synthetic", "x", "y")
+    for name, points in series.items():
+        for x, y in points:
+            result.add_point(name, x, y)
+    return result
+
+
+def paper_shaped_5a():
+    return figure(
+        SCS=[(2, 0.05), (8, 0.4), (32, 1.8)],
+        CS=[(2, 0.055), (8, 0.059), (32, 0.077)],
+        BPS=[(2, 0.061), (8, 0.063), (32, 0.074)],
+        BPR=[(2, 0.061), (8, 0.063), (32, 0.074)],
+    )
+
+
+def anti_shaped_5a():
+    """SCS flat, MCS wildly better: the claims must reject this."""
+    return figure(
+        SCS=[(2, 0.05), (8, 0.05), (32, 0.05)],
+        CS=[(2, 0.01), (8, 0.01), (32, 0.01)],
+        BPS=[(2, 0.06), (8, 0.06), (32, 0.06)],
+        BPR=[(2, 0.02), (8, 0.02), (32, 0.02)],
+    )
+
+
+class TestVerifyFigure:
+    def test_paper_shape_passes_all_5a_claims(self):
+        outcome = verify_figure("5a", paper_shaped_5a())
+        assert all(holds for _, holds in outcome)
+        assert len(outcome) == 4
+
+    def test_anti_shape_fails(self):
+        outcome = verify_figure("5a", anti_shaped_5a())
+        assert not all(holds for _, holds in outcome)
+
+    def test_missing_series_is_a_failure_not_a_crash(self):
+        outcome = verify_figure("5a", figure(SCS=[(1, 1.0), (2, 10.0)]))
+        assert all(holds is False for claim, holds in outcome if "scs" not in claim.claim_id)
+
+    def test_unknown_figure_key(self):
+        with pytest.raises(ExperimentError):
+            verify_figure("9z", figure(a=[(1, 1.0)]))
+
+    def test_8a_claims(self):
+        good = figure(
+            BP=[(1, 0.08), (2, 0.05), (3, 0.05), (4, 0.05)],
+            Gnutella=[(1, 0.083), (2, 0.083), (3, 0.083), (4, 0.083)],
+        )
+        assert all(holds for _, holds in verify_figure("8a", good))
+        bad = figure(
+            BP=[(1, 0.09), (2, 0.095), (3, 0.09), (4, 0.09)],
+            Gnutella=[(1, 0.083), (2, 0.03), (3, 0.083), (4, 0.2)],
+        )
+        assert not all(holds for _, holds in verify_figure("8a", bad))
+
+    def test_5c_crossover_claim(self):
+        good = figure(
+            CS=[(2, 0.05), (4, 0.10), (8, 0.20)],
+            BPS=[(2, 0.061), (4, 0.077), (8, 0.111)],
+            BPR=[(2, 0.061), (4, 0.066), (8, 0.076)],
+        )
+        outcome = dict(
+            (claim.claim_id, holds) for claim, holds in verify_figure("5c", good)
+        )
+        assert outcome["5c-crossover"]
+        assert outcome["5c-bpr"]
+
+
+class TestVerifyAll:
+    def test_report_counts(self):
+        report = verify_all({"5a": paper_shaped_5a()})
+        assert "4/4 paper claims hold" in report
+        assert "PASS" in report
+        assert "FAIL" not in report
+
+    def test_report_marks_failures(self):
+        report = verify_all({"5a": anti_shaped_5a()})
+        assert "FAIL" in report
+
+    def test_missing_figures_skipped(self):
+        report = verify_all({})
+        assert "0/0" in report
+
+    def test_claim_registry_covers_the_evaluation(self):
+        assert set(CLAIMS) == {"5a", "5b", "5c", "6", "8a", "8b"}
+        total = sum(len(claims) for claims in CLAIMS.values())
+        assert total >= 14

@@ -1,0 +1,99 @@
+"""Tests for evaluation metrics."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ExperimentError
+from repro.eval.metrics import (
+    Arrival,
+    answer_curve,
+    average_answer_curves,
+    average_curves,
+    completion_time,
+    response_curve,
+)
+
+
+def arrivals(*specs):
+    return [Arrival(t, r, c) for t, r, c in specs]
+
+
+class TestCompletionTime:
+    def test_last_arrival(self):
+        data = arrivals((1.0, "a", 2), (3.0, "b", 1), (2.0, "c", 5))
+        assert completion_time(data) == 3.0
+
+    def test_empty(self):
+        assert completion_time([]) == 0.0
+
+
+class TestResponseCurve:
+    def test_ranks_distinct_responders(self):
+        data = arrivals((1.0, "a", 2), (2.0, "b", 1), (3.0, "c", 1))
+        assert response_curve(data) == [(1, 1.0), (2, 2.0), (3, 3.0)]
+
+    def test_duplicate_responder_counted_once(self):
+        data = arrivals((1.0, "a", 2), (2.0, "a", 1), (3.0, "b", 1))
+        assert response_curve(data) == [(1, 1.0), (2, 3.0)]
+
+    def test_unsorted_input(self):
+        data = arrivals((3.0, "b", 1), (1.0, "a", 1))
+        assert response_curve(data) == [(1, 1.0), (2, 3.0)]
+
+    def test_empty(self):
+        assert response_curve([]) == []
+
+
+class TestAnswerCurve:
+    def test_cumulative_counts(self):
+        data = arrivals((1.0, "a", 2), (2.0, "b", 3))
+        assert answer_curve(data) == [(1.0, 2), (2.0, 5)]
+
+    def test_empty(self):
+        assert answer_curve([]) == []
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=100),
+                st.sampled_from(["a", "b", "c"]),
+                st.integers(min_value=1, max_value=9),
+            ),
+            max_size=20,
+        )
+    )
+    def test_curve_is_monotone(self, specs):
+        curve = answer_curve(arrivals(*specs))
+        times = [t for t, _ in curve]
+        counts = [c for _, c in curve]
+        assert times == sorted(times)
+        assert counts == sorted(counts)
+        if curve:
+            assert counts[-1] == sum(c for _, _, c in specs)
+
+
+class TestAveraging:
+    def test_average_response_curves(self):
+        curves = [[(1, 1.0), (2, 3.0)], [(1, 2.0), (2, 5.0)]]
+        assert average_curves(curves) == [(1, 1.5), (2, 4.0)]
+
+    def test_truncates_to_shortest(self):
+        curves = [[(1, 1.0), (2, 3.0)], [(1, 2.0)]]
+        assert average_curves(curves) == [(1, 1.5)]
+
+    def test_rank_mismatch_raises(self):
+        with pytest.raises(ExperimentError):
+            average_curves([[(1, 1.0)], [(2, 1.0)]])
+
+    def test_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            average_curves([])
+
+    def test_average_answer_curves(self):
+        curves = [[(1.0, 5), (2.0, 9)], [(3.0, 5), (4.0, 9)]]
+        assert average_answer_curves(curves) == [(2.0, 5), (3.0, 9)]
+
+    def test_average_answer_curves_empty_raises(self):
+        with pytest.raises(ExperimentError):
+            average_answer_curves([])

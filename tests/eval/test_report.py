@@ -1,0 +1,82 @@
+"""Tests for report rendering."""
+
+import pytest
+
+from repro.errors import ExperimentError
+from repro.eval.experiment import ExperimentRunner, FigureResult
+from repro.eval.report import format_figure, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(["x", "value"], [[1, 10.5], [200, 3.25]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "x" in lines[0] and "value" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+        # Columns right-aligned: the widths are consistent.
+        assert len(lines[2]) == len(lines[3])
+
+    def test_float_formatting(self):
+        text = format_table(["v"], [[1.23456789]])
+        assert "1.2346" in text
+
+
+class TestFigureResult:
+    def test_add_and_query(self):
+        result = FigureResult("F", "t", "x", "y")
+        result.add_point("a", 1, 2.0)
+        result.add_point("a", 2, 3.0)
+        assert result.series_named("a") == [(1, 2.0), (2, 3.0)]
+        assert result.y_values("a") == [2.0, 3.0]
+
+    def test_unknown_series(self):
+        result = FigureResult("F", "t", "x", "y")
+        with pytest.raises(ExperimentError):
+            result.series_named("ghost")
+
+
+class TestFormatFigure:
+    def test_renders_all_series(self):
+        result = FigureResult("Figure 9", "demo", "n", "seconds")
+        result.add_point("BP", 1, 0.5)
+        result.add_point("BP", 2, 0.6)
+        result.add_point("CS", 1, 0.7)
+        text = format_figure(result)
+        assert "Figure 9" in text
+        assert "BP" in text and "CS" in text
+        assert "0.5000" in text
+
+    def test_missing_points_rendered_as_dash(self):
+        result = FigureResult("F", "t", "x", "y")
+        result.add_point("a", 1, 1.0)
+        result.add_point("b", 2, 2.0)
+        text = format_figure(result)
+        assert "-" in text.splitlines()[-1] or "-" in text
+
+    def test_notes_included(self):
+        result = FigureResult("F", "t", "x", "y", notes="scaled down")
+        result.add_point("a", 1, 1.0)
+        assert "scaled down" in format_figure(result)
+
+
+class TestExperimentRunner:
+    def test_measure_aggregates(self):
+        runner = ExperimentRunner(repetitions=3, base_seed=10)
+        seeds = []
+
+        def run(seed):
+            seeds.append(seed)
+            return float(seed)
+
+        stats = runner.measure(run)
+        assert seeds == [10, 11, 12]
+        assert stats.mean == 11.0
+
+    def test_collect(self):
+        runner = ExperimentRunner(repetitions=2)
+        assert runner.collect(lambda seed: seed * 2) == [0, 2]
+
+    def test_validation(self):
+        with pytest.raises(ExperimentError):
+            ExperimentRunner(repetitions=0)

@@ -1,0 +1,84 @@
+"""Tests for the trace timeline renderer."""
+
+from repro.eval.timeline import busiest_hosts, event_counts, render_timeline
+from repro.util.tracing import Tracer
+
+
+def traced():
+    tracer = Tracer()
+    tracer.record(1.0, "net", "send", src="a", dst="b")
+    tracer.record(1.002, "net", "deliver", host="b")
+    tracer.record(1.005, "agent", "execute", agent="x", hops=1)
+    tracer.record(1.010, "net", "deliver", host="b")
+    tracer.record(1.020, "net", "deliver", host="c")
+    return tracer
+
+
+class TestRenderTimeline:
+    def test_chronological_with_relative_offsets(self):
+        text = render_timeline(traced())
+        lines = text.splitlines()
+        assert len(lines) == 5
+        assert lines[0].startswith("+    0.000ms")
+        assert "agent" in lines[2]
+
+    def test_category_filter(self):
+        text = render_timeline(traced(), categories=["agent"])
+        assert "execute" in text
+        assert "deliver" not in text
+
+    def test_time_window(self):
+        text = render_timeline(traced(), start=1.004, end=1.012)
+        assert len(text.splitlines()) == 2
+
+    def test_limit_truncates(self):
+        text = render_timeline(traced(), limit=2)
+        assert "3 more events" in text
+
+    def test_empty(self):
+        assert "no matching" in render_timeline(Tracer())
+
+
+class TestAggregation:
+    def test_event_counts(self):
+        counts = event_counts(traced())
+        assert counts[("net", "deliver")] == 3
+        assert counts[("agent", "execute")] == 1
+
+    def test_busiest_hosts(self):
+        ranked = busiest_hosts(traced())
+        assert ranked[0] == ("b", 2)
+        assert ranked[1] == ("c", 1)
+
+    def test_busiest_hosts_top(self):
+        assert len(busiest_hosts(traced(), top=1)) == 1
+
+    def test_end_to_end_with_real_trace(self):
+        """The timeline works on a genuine simulation trace."""
+        from repro.agents.costs import AgentCosts
+        from repro.core import BestPeerConfig, build_network
+        from repro.topology import line
+        from repro.util.tracing import Tracer as RealTracer
+
+        tracer = RealTracer()
+        net = build_network(
+            3,
+            config=BestPeerConfig(
+                agent_costs=AgentCosts(
+                    class_install_time=0.001,
+                    state_install_time=0.001,
+                    execute_overhead=0.0,
+                    page_io_time=0.0,
+                    object_match_time=0.0,
+                )
+            ),
+            topology=line(3),
+            tracer=tracer,
+        )
+        net.nodes[2].share(["k"], b"x")
+        net.base.issue_query("k")
+        net.sim.run()
+        text = render_timeline(tracer, categories=["agent", "node"])
+        assert "dispatch" in text
+        assert "execute" in text
+        assert busiest_hosts(tracer)

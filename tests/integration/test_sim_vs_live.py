@@ -1,0 +1,81 @@
+"""Cross-validation: the simulator and the live runtime agree.
+
+The same scenario — same topology, same shared objects, same keyword —
+must yield the *same answers* whether the agents travel a simulated LAN
+or real TCP connections.  Timing differs (one is simulated, one is wall
+clock); the answer multiset must not.
+"""
+
+import pytest
+
+from repro.agents.costs import AgentCosts
+from repro.core import BestPeerConfig, build_network
+from repro.live import LivePeer
+from repro.topology import line, star
+
+FAST = AgentCosts(
+    class_install_time=0.001,
+    state_install_time=0.001,
+    execute_overhead=0.0,
+    page_io_time=0.0,
+    object_match_time=0.0,
+)
+
+SCENARIO = {
+    # node index -> list of (keywords, payload)
+    1: [(["jazz"], b"bitches brew"), (["rock"], b"paranoid")],
+    2: [(["jazz"], b"a love supreme")],
+    3: [(["jazz"], b"kind of blue"), (["jazz"], b"sketches of spain")],
+}
+
+
+def answers_from_simulator(topology):
+    net = build_network(
+        4, config=BestPeerConfig(agent_costs=FAST), topology=topology
+    )
+    for index, objects in SCENARIO.items():
+        for keywords, payload in objects:
+            net.nodes[index].share(keywords, payload)
+    handle = net.base.issue_query("jazz")
+    net.sim.run()
+    return sorted(
+        item.payload for answer in handle.answers for item in answer.items
+    )
+
+
+def answers_from_live(wire):
+    peers = [LivePeer(f"xval-{i}") for i in range(4)]
+    try:
+        for a, b in wire:
+            peers[a].connect_to(peers[b])
+        for index, objects in SCENARIO.items():
+            for keywords, payload in objects:
+                peers[index].share(keywords, payload)
+        query = peers[0].issue_query("jazz")
+        assert query.wait_for_answers(3, timeout=8.0)
+        return sorted(
+            item.payload for answer in query.answers for item in answer.items
+        )
+    finally:
+        for peer in peers:
+            peer.close()
+
+
+EXPECTED = sorted(
+    payload
+    for objects in SCENARIO.values()
+    for keywords, payload in objects
+    if "jazz" in keywords
+)
+
+
+class TestSimVsLive:
+    def test_star_answers_identical(self):
+        simulated = answers_from_simulator(star(4))
+        live = answers_from_live([(0, 1), (0, 2), (0, 3)])
+        assert simulated == live == EXPECTED
+
+    def test_line_answers_identical(self):
+        simulated = answers_from_simulator(line(4))
+        live = answers_from_live([(0, 1), (1, 2), (2, 3)])
+        assert simulated == live == EXPECTED

@@ -1,0 +1,91 @@
+"""Tests for the live LIGLO server."""
+
+import pytest
+
+from repro.errors import BestPeerError
+from repro.live import LiveLigloServer, LivePeer
+
+
+@pytest.fixture
+def rig():
+    created = []
+
+    def make_peer(name, **kwargs):
+        peer = LivePeer(name, **kwargs)
+        created.append(peer)
+        return peer
+
+    server = LiveLigloServer()
+    created.append(server)
+    yield server, make_peer
+    for thing in created:
+        thing.close()
+
+
+class TestLiveLiglo:
+    def test_registration_assigns_bpid(self, rig):
+        server, make_peer = rig
+        peer = make_peer("a")
+        original = peer.bpid
+        assert peer.register_with(server.address)
+        assert peer.bpid != original
+        assert peer.bpid.liglo_id == server.server_id
+        assert server.member_count() == 1
+
+    def test_sequential_node_ids(self, rig):
+        server, make_peer = rig
+        bpids = []
+        for i in range(3):
+            peer = make_peer(f"p{i}")
+            assert peer.register_with(server.address)
+            bpids.append(peer.bpid)
+        assert sorted(b.node_id for b in bpids) == [0, 1, 2]
+
+    def test_initial_peers_handed_out(self, rig):
+        server, make_peer = rig
+        early = make_peer("early")
+        early.register_with(server.address)
+        late = make_peer("late")
+        late.register_with(server.address)
+        assert early.bpid in late.peer_bpids()
+
+    def test_resolution(self, rig):
+        server, make_peer = rig
+        a = make_peer("a")
+        b = make_peer("b")
+        a.register_with(server.address)
+        b.register_with(server.address)
+        assert a.resolve_peer(b.bpid) == b.address
+        from repro.ids import BPID
+
+        assert a.resolve_peer(BPID(server.server_id, 999)) is None
+
+    def test_capacity_rejection(self):
+        server = LiveLigloServer(capacity=1)
+        a = LivePeer("a")
+        b = LivePeer("b")
+        try:
+            assert a.register_with(server.address)
+            assert not b.register_with(server.address)
+            assert server.registrations_rejected == 1
+        finally:
+            for thing in (a, b, server):
+                thing.close()
+
+    def test_resolve_without_registration_raises(self, rig):
+        server, make_peer = rig
+        peer = make_peer("loner")
+        with pytest.raises(BestPeerError):
+            peer.resolve_peer(peer.bpid)
+
+    def test_registered_peers_can_query_each_other(self, rig):
+        server, make_peer = rig
+        a = make_peer("a")
+        b = make_peer("b")
+        a.register_with(server.address)
+        b.register_with(server.address)  # b adopts a as initial peer
+        a.add_peer(b.bpid, b.address)
+        a.share(["jazz"], b"registered and sharing")
+        query = b.issue_query("jazz")
+        assert query.wait_for_answers(1, timeout=5.0)
+        assert query.responders == {a.bpid}

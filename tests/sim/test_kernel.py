@@ -1,0 +1,152 @@
+"""Tests for the discrete-event simulator kernel."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError
+from repro.sim import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(3.0, fired.append, 3.0)
+        sim.schedule(1.0, fired.append, 1.0)
+        sim.schedule(2.0, fired.append, 2.0)
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+        assert sim.now == 3.0
+
+    def test_ties_fire_in_scheduling_order(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(1.0, fired.append, i)
+        sim.run()
+        assert fired == list(range(10))
+
+    def test_negative_delay_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SchedulingError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_absolute_time(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(1.0, lambda: sim.schedule_at(5.0, times.append, sim.now))
+        sim.run()
+        # The inner callback records its own firing time.
+        assert sim.now == 5.0
+
+    def test_nested_scheduling_during_callback(self):
+        sim = Simulator()
+        fired = []
+
+        def outer():
+            fired.append(("outer", sim.now))
+            sim.schedule(2.0, inner)
+
+        def inner():
+            fired.append(("inner", sim.now))
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert fired == [("outer", 1.0), ("inner", 3.0)]
+
+    def test_cancel_prevents_firing(self):
+        sim = Simulator()
+        fired = []
+        timer = sim.schedule(1.0, fired.append, "x")
+        timer.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_is_idempotent(self):
+        sim = Simulator()
+        timer = sim.schedule(1.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        sim.run()
+
+    def test_run_until_stops_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, 1)
+        sim.schedule(10.0, fired.append, 10)
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.now == 5.0
+        # Remaining events still runnable afterwards.
+        sim.run()
+        assert fired == [1, 10]
+
+    def test_step_returns_false_when_idle(self):
+        sim = Simulator()
+        assert sim.step() is False
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        timer = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        timer.cancel()
+        assert sim.peek() == 2.0
+
+    def test_peek_empty(self):
+        sim = Simulator()
+        assert sim.peek() is None
+
+    def test_pending_events_counts_live_timers(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        timer = sim.schedule(2.0, lambda: None)
+        timer.cancel()
+        assert sim.pending_events == 1
+        sim.run()
+
+    @given(st.lists(st.floats(min_value=0, max_value=1000), min_size=1, max_size=50))
+    def test_firing_order_is_sorted_by_time(self, delays):
+        sim = Simulator()
+        fired = []
+        for delay in delays:
+            sim.schedule(delay, fired.append, delay)
+        sim.run()
+        assert fired == sorted(fired)
+
+
+class TestEvents:
+    def test_trigger_wakes_callbacks_with_value(self):
+        sim = Simulator()
+        seen = []
+        event = sim.event()
+        event.on_trigger(seen.append)
+        sim.schedule(1.0, event.trigger, "payload")
+        sim.run()
+        assert seen == ["payload"]
+
+    def test_late_registration_still_fires(self):
+        sim = Simulator()
+        seen = []
+        event = sim.event()
+        sim.schedule(1.0, event.trigger, 42)
+        sim.schedule(2.0, lambda: event.on_trigger(seen.append))
+        sim.run()
+        assert seen == [42]
+
+    def test_double_trigger_raises(self):
+        from repro.errors import SimulationError
+
+        sim = Simulator()
+        event = sim.event()
+        event.trigger(1)
+        with pytest.raises(SimulationError):
+            event.trigger(2)
+
+    def test_timeout_helper(self):
+        sim = Simulator()
+        seen = []
+        sim.timeout(2.5, "done").on_trigger(seen.append)
+        sim.run()
+        assert seen == ["done"]
+        assert sim.now == 2.5

@@ -1,0 +1,163 @@
+"""Tests for coroutine processes."""
+
+import pytest
+
+from repro.errors import ProcessError
+from repro.sim import Simulator
+
+
+class TestProcessBasics:
+    def test_sleep_advances_time(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            log.append(sim.now)
+            yield 5.0
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [0.0, 5.0]
+
+    def test_yield_none_resumes_same_time(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield None
+            log.append(sim.now)
+
+        sim.spawn(proc())
+        sim.run()
+        assert log == [0.0]
+
+    def test_return_value_stored_as_result(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            return "answer"
+
+        process = sim.spawn(proc())
+        sim.run()
+        assert process.result == "answer"
+        assert not process.alive
+
+    def test_wait_on_event_receives_value(self):
+        sim = Simulator()
+        log = []
+        event = sim.event()
+
+        def proc():
+            value = yield event
+            log.append(value)
+
+        sim.spawn(proc())
+        sim.schedule(3.0, event.trigger, "hello")
+        sim.run()
+        assert log == ["hello"]
+
+    def test_join_other_process(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield 2.0
+            return "child-result"
+
+        def parent():
+            result = yield sim.spawn(child())
+            log.append((sim.now, result))
+
+        sim.spawn(parent())
+        sim.run()
+        assert log == [(2.0, "child-result")]
+
+    def test_two_processes_interleave(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name, period):
+            for _ in range(3):
+                yield period
+                log.append((name, sim.now))
+
+        sim.spawn(proc("a", 1.0))
+        sim.spawn(proc("b", 1.5))
+        sim.run()
+        # At t=3.0 both resume; "b" scheduled its resume at t=1.5 (before
+        # "a" did at t=2.0), so FIFO tie-breaking runs "b" first.
+        assert log == [
+            ("a", 1.0),
+            ("b", 1.5),
+            ("a", 2.0),
+            ("b", 3.0),
+            ("a", 3.0),
+            ("b", 4.5),
+        ]
+
+
+class TestProcessFailure:
+    def test_unhandled_exception_aborts_run(self):
+        sim = Simulator()
+
+        def proc():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        sim.spawn(proc())
+        with pytest.raises(RuntimeError, match="boom"):
+            sim.run()
+
+    def test_joiner_observes_child_failure(self):
+        sim = Simulator()
+        log = []
+
+        def child():
+            yield 1.0
+            raise ValueError("child died")
+
+        def parent():
+            try:
+                yield sim.spawn(child())
+            except ValueError as exc:
+                log.append(str(exc))
+
+        sim.spawn(parent())
+        sim.run()
+        assert log == ["child died"]
+
+    def test_unhandled_join_failure_propagates(self):
+        sim = Simulator()
+
+        def child():
+            yield 1.0
+            raise ValueError("inner")
+
+        def parent():
+            yield sim.spawn(child())
+
+        sim.spawn(parent())
+        with pytest.raises(ValueError, match="inner"):
+            sim.run()
+
+    def test_negative_sleep_fails_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield -1.0
+
+        sim.spawn(proc())
+        with pytest.raises(ProcessError):
+            sim.run()
+
+    def test_bad_yield_fails_process(self):
+        sim = Simulator()
+
+        def proc():
+            yield "not a command"
+
+        sim.spawn(proc())
+        with pytest.raises(ProcessError):
+            sim.run()

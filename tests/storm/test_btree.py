@@ -1,0 +1,180 @@
+"""Tests for the page-based B+-tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import StormError
+from repro.storm.btree import BPlusTree
+from repro.storm.buffer import BufferManager
+from repro.storm.disk import FileDisk, InMemoryDisk
+
+
+def make_tree(page_size=256, pool_size=16):
+    disk = InMemoryDisk(page_size=page_size)
+    return BPlusTree(BufferManager(disk, pool_size=pool_size))
+
+
+class TestBasicOperations:
+    def test_insert_contains(self):
+        tree = make_tree()
+        assert tree.insert(b"apple")
+        assert tree.contains(b"apple")
+        assert not tree.contains(b"banana")
+        assert tree.entry_count == 1
+
+    def test_duplicate_insert_rejected(self):
+        tree = make_tree()
+        assert tree.insert(b"key")
+        assert not tree.insert(b"key")
+        assert tree.entry_count == 1
+
+    def test_delete(self):
+        tree = make_tree()
+        tree.insert(b"key")
+        assert tree.delete(b"key")
+        assert not tree.contains(b"key")
+        assert not tree.delete(b"key")
+        assert tree.entry_count == 0
+
+    def test_scan_all_sorted(self):
+        tree = make_tree()
+        for word in [b"pear", b"apple", b"mango", b"fig"]:
+            tree.insert(word)
+        assert list(tree.scan_all()) == [b"apple", b"fig", b"mango", b"pear"]
+
+    def test_scan_prefix(self):
+        tree = make_tree()
+        for word in [b"app", b"apple", b"apricot", b"banana"]:
+            tree.insert(word)
+        assert list(tree.scan_prefix(b"ap")) == [b"app", b"apple", b"apricot"]
+        assert list(tree.scan_prefix(b"appl")) == [b"apple"]
+        assert list(tree.scan_prefix(b"z")) == []
+
+    def test_scan_range(self):
+        tree = make_tree()
+        for i in range(10):
+            tree.insert(bytes([i]))
+        assert list(tree.scan_range(bytes([3]), bytes([7]))) == [
+            bytes([i]) for i in range(3, 7)
+        ]
+
+    def test_empty_entry_allowed(self):
+        tree = make_tree()
+        tree.insert(b"")
+        assert tree.contains(b"")
+        assert list(tree.scan_all()) == [b""]
+
+    def test_oversized_entry_rejected(self):
+        tree = make_tree(page_size=128)
+        with pytest.raises(StormError):
+            tree.insert(b"x" * 200)
+
+
+class TestSplitting:
+    def test_many_inserts_force_splits(self):
+        tree = make_tree(page_size=128)
+        entries = [f"entry-{i:04d}".encode() for i in range(200)]
+        for entry in entries:
+            tree.insert(entry)
+        assert tree.height > 1
+        assert list(tree.scan_all()) == sorted(entries)
+        tree.check_invariants()
+
+    def test_reverse_insertion_order(self):
+        tree = make_tree(page_size=128)
+        entries = [f"entry-{i:04d}".encode() for i in reversed(range(200))]
+        for entry in entries:
+            tree.insert(entry)
+        assert list(tree.scan_all()) == sorted(entries)
+        tree.check_invariants()
+
+    def test_interleaved_insert_delete(self):
+        tree = make_tree(page_size=128)
+        entries = [f"k{i:03d}".encode() for i in range(120)]
+        for entry in entries:
+            tree.insert(entry)
+        for entry in entries[::2]:
+            assert tree.delete(entry)
+        assert list(tree.scan_all()) == sorted(entries[1::2])
+        tree.check_invariants()
+
+    def test_contains_after_deep_splits(self):
+        tree = make_tree(page_size=128)
+        for i in range(300):
+            tree.insert(f"{i:06d}".encode())
+        assert tree.height >= 3
+        for i in range(300):
+            assert tree.contains(f"{i:06d}".encode())
+        assert not tree.contains(b"999999")
+
+    def test_variable_length_entries(self):
+        tree = make_tree(page_size=256)
+        entries = [bytes([65 + i % 26]) * (1 + i % 20) for i in range(150)]
+        unique = sorted(set(entries))
+        for entry in entries:
+            tree.insert(entry)
+        assert list(tree.scan_all()) == unique
+        tree.check_invariants()
+
+
+class TestPersistence:
+    def test_reopen_from_file(self, tmp_path):
+        path = str(tmp_path / "index.btree")
+        disk = FileDisk(path, page_size=256)
+        buffer = BufferManager(disk, pool_size=16)
+        tree = BPlusTree(buffer)
+        for i in range(100):
+            tree.insert(f"persist-{i:03d}".encode())
+        buffer.flush_all()
+        disk.close()
+
+        reopened_disk = FileDisk(path, page_size=256)
+        reopened = BPlusTree(BufferManager(reopened_disk, pool_size=16))
+        assert reopened.entry_count == 100
+        assert reopened.contains(b"persist-042")
+        assert len(list(reopened.scan_prefix(b"persist-"))) == 100
+        reopened.check_invariants()
+        reopened_disk.close()
+
+    def test_wrong_file_rejected(self):
+        disk = InMemoryDisk(page_size=256)
+        disk.allocate_page()  # page 0 exists but holds zeros, not magic
+        with pytest.raises(StormError):
+            BPlusTree(BufferManager(disk, pool_size=4))
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.booleans(), st.binary(min_size=1, max_size=24)),
+        max_size=120,
+    )
+)
+def test_btree_behaves_like_a_set(operations):
+    """Model-based test: the tree is an ordered set of byte strings."""
+    tree = make_tree(page_size=128, pool_size=8)
+    model: set[bytes] = set()
+    for is_insert, entry in operations:
+        if is_insert:
+            assert tree.insert(entry) == (entry not in model)
+            model.add(entry)
+        else:
+            assert tree.delete(entry) == (entry in model)
+            model.discard(entry)
+    assert list(tree.scan_all()) == sorted(model)
+    assert tree.entry_count == len(model)
+    tree.check_invariants()
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    st.sets(st.binary(min_size=1, max_size=16), max_size=80),
+    st.binary(min_size=1, max_size=4),
+)
+def test_prefix_scan_matches_filter(entries, prefix):
+    tree = make_tree(page_size=128, pool_size=8)
+    for entry in entries:
+        tree.insert(entry)
+    expected = sorted(e for e in entries if e.startswith(prefix))
+    assert list(tree.scan_prefix(prefix)) == expected

@@ -1,0 +1,98 @@
+"""Tests for disk backends."""
+
+import pytest
+
+from repro.errors import PageError, StorageClosedError
+from repro.storm.disk import FileDisk, InMemoryDisk
+
+
+class TestInMemoryDisk:
+    def test_allocate_and_round_trip(self):
+        disk = InMemoryDisk(page_size=128)
+        page_id = disk.allocate_page()
+        assert page_id == 0
+        assert disk.num_pages == 1
+        data = bytearray(b"\x07" * 128)
+        disk.write_page(page_id, data)
+        assert disk.read_page(page_id) == data
+
+    def test_new_pages_are_zeroed(self):
+        disk = InMemoryDisk(page_size=64)
+        page_id = disk.allocate_page()
+        assert disk.read_page(page_id) == bytearray(64)
+
+    def test_read_returns_copy(self):
+        disk = InMemoryDisk(page_size=64)
+        page_id = disk.allocate_page()
+        copy = disk.read_page(page_id)
+        copy[0] = 0xFF
+        assert disk.read_page(page_id)[0] == 0
+
+    def test_out_of_range_page(self):
+        disk = InMemoryDisk()
+        with pytest.raises(PageError):
+            disk.read_page(0)
+        with pytest.raises(PageError):
+            disk.write_page(5, b"\x00" * disk.page_size)
+
+    def test_wrong_size_write(self):
+        disk = InMemoryDisk(page_size=64)
+        disk.allocate_page()
+        with pytest.raises(PageError):
+            disk.write_page(0, b"short")
+
+    def test_counters(self):
+        disk = InMemoryDisk(page_size=64)
+        disk.allocate_page()
+        disk.read_page(0)
+        disk.write_page(0, b"\x00" * 64)
+        assert disk.reads == 1
+        assert disk.writes == 1
+
+    def test_tiny_page_size_rejected(self):
+        with pytest.raises(ValueError):
+            InMemoryDisk(page_size=32)
+
+
+class TestFileDisk:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "storm.db")
+        disk = FileDisk(path, page_size=128)
+        page_id = disk.allocate_page()
+        disk.write_page(page_id, b"\x09" * 128)
+        assert disk.read_page(page_id) == bytearray(b"\x09" * 128)
+        disk.close()
+
+    def test_persistence_across_reopen(self, tmp_path):
+        path = str(tmp_path / "storm.db")
+        disk = FileDisk(path, page_size=128)
+        disk.allocate_page()
+        disk.allocate_page()
+        disk.write_page(1, b"\xab" * 128)
+        disk.close()
+
+        reopened = FileDisk(path, page_size=128)
+        assert reopened.num_pages == 2
+        assert reopened.read_page(1) == bytearray(b"\xab" * 128)
+        reopened.close()
+
+    def test_misaligned_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.db"
+        path.write_bytes(b"x" * 100)
+        with pytest.raises(PageError):
+            FileDisk(str(path), page_size=128)
+
+    def test_closed_disk_raises(self, tmp_path):
+        disk = FileDisk(str(tmp_path / "storm.db"), page_size=128)
+        disk.allocate_page()
+        disk.close()
+        with pytest.raises(StorageClosedError):
+            disk.read_page(0)
+        disk.close()  # idempotent
+
+    def test_flush(self, tmp_path):
+        disk = FileDisk(str(tmp_path / "storm.db"), page_size=128)
+        disk.allocate_page()
+        disk.write_page(0, b"\x01" * 128)
+        disk.flush()
+        disk.close()

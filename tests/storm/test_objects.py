@@ -1,0 +1,79 @@
+"""Tests for the stored-object codec."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import StormError
+from repro.storm.objects import StoredObject, normalize_keyword
+
+keyword_strategy = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd")),
+    min_size=1,
+    max_size=20,
+)
+
+
+class TestStoredObject:
+    def test_round_trip(self):
+        obj = StoredObject(("jazz", "bebop"), b"some audio bytes")
+        assert StoredObject.decode(obj.encode()) == obj
+
+    def test_keywords_normalized(self):
+        obj = StoredObject((" Jazz ", "BEBOP"), b"")
+        assert obj.keywords == ("jazz", "bebop")
+
+    def test_matches_is_case_insensitive(self):
+        obj = StoredObject(("jazz",), b"")
+        assert obj.matches("JAZZ")
+        assert obj.matches("  jazz ")
+        assert not obj.matches("rock")
+
+    def test_empty_keyword_rejected(self):
+        with pytest.raises(StormError):
+            StoredObject(("  ",), b"")
+
+    def test_no_keywords_allowed(self):
+        obj = StoredObject((), b"payload")
+        assert StoredObject.decode(obj.encode()) == obj
+
+    def test_size(self):
+        assert StoredObject(("k",), b"x" * 1024).size == 1024
+
+    def test_unicode_keywords(self):
+        obj = StoredObject(("café", "日本語"), b"")
+        assert StoredObject.decode(obj.encode()) == obj
+
+    def test_corrupt_record_raises(self):
+        with pytest.raises(StormError):
+            StoredObject.decode(b"\xff")
+
+    def test_truncated_keyword_raises(self):
+        obj = StoredObject(("keyword",), b"")
+        data = obj.encode()
+        with pytest.raises(StormError):
+            StoredObject.decode(data[:5])
+
+    def test_truncated_payload_raises(self):
+        obj = StoredObject(("k",), b"payload-bytes")
+        data = obj.encode()
+        with pytest.raises(StormError):
+            StoredObject.decode(data[:-3])
+
+    def test_trailing_bytes_raise(self):
+        obj = StoredObject(("k",), b"p")
+        with pytest.raises(StormError):
+            StoredObject.decode(obj.encode() + b"junk")
+
+    @given(
+        st.lists(keyword_strategy, max_size=5),
+        st.binary(max_size=2048),
+    )
+    def test_round_trip_property(self, keywords, payload):
+        obj = StoredObject(tuple(keywords), payload)
+        assert StoredObject.decode(obj.encode()) == obj
+
+
+def test_normalize_keyword():
+    assert normalize_keyword("  MiXeD ") == "mixed"
+    assert normalize_keyword("ß") == "ss"  # casefold, not lower

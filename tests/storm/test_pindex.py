@@ -1,0 +1,147 @@
+"""Tests for the persistent keyword index and its StorM integration."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storm import FileDisk, InMemoryDisk, StorM
+from repro.storm.buffer import BufferManager
+from repro.storm.heapfile import RecordId
+from repro.storm.index import KeywordIndex
+from repro.storm.pindex import PersistentKeywordIndex
+
+
+def make_index(page_size=256, pool_size=16):
+    disk = InMemoryDisk(page_size=page_size)
+    return PersistentKeywordIndex(BufferManager(disk, pool_size=pool_size))
+
+
+def rid(n):
+    return RecordId(n // 10, n % 10)
+
+
+class TestPersistentKeywordIndex:
+    def test_add_lookup(self):
+        index = make_index()
+        index.add(rid(1), ["jazz", "bebop"])
+        index.add(rid(2), ["jazz"])
+        assert index.lookup("jazz") == {rid(1), rid(2)}
+        assert index.lookup("bebop") == {rid(1)}
+        assert index.lookup("rock") == frozenset()
+
+    def test_lookup_normalizes(self):
+        index = make_index()
+        index.add(rid(1), ["Jazz"])
+        assert index.lookup(" JAZZ ") == {rid(1)}
+
+    def test_remove(self):
+        index = make_index()
+        index.add(rid(1), ["jazz"])
+        index.add(rid(2), ["jazz"])
+        index.remove(rid(1), ["jazz"])
+        assert index.lookup("jazz") == {rid(2)}
+        index.remove(rid(1), ["jazz"])  # missing: no-op
+
+    def test_posting_count_and_keywords(self):
+        index = make_index()
+        index.add(rid(1), ["a", "b"])
+        index.add(rid(2), ["a"])
+        assert index.posting_count("a") == 2
+        assert index.posting_count("b") == 1
+        assert list(index.keywords()) == ["a", "b"]
+        assert index.keyword_count == 2
+
+    def test_no_prefix_bleed_between_keywords(self):
+        """'jazz' postings must not appear under 'jaz'."""
+        index = make_index()
+        index.add(rid(1), ["jazz"])
+        index.add(rid(2), ["jaz"])
+        assert index.lookup("jaz") == {rid(2)}
+        assert index.lookup("jazz") == {rid(1)}
+
+    def test_many_postings_span_pages(self):
+        index = make_index(page_size=128)
+        for i in range(300):
+            index.add(rid(i), ["popular"])
+        assert index.posting_count("popular") == 300
+        index.tree.check_invariants()
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=50),
+                st.lists(
+                    st.sampled_from(["a", "ab", "abc", "b"]),
+                    min_size=1,
+                    max_size=3,
+                    unique=True,
+                ),
+            ),
+            max_size=40,
+            unique_by=lambda t: t[0],
+        )
+    )
+    def test_agrees_with_in_memory_index(self, entries):
+        persistent = make_index(page_size=128)
+        in_memory = KeywordIndex()
+        for n, keywords in entries:
+            persistent.add(rid(n), keywords)
+            in_memory.add(rid(n), keywords)
+        for keyword in ["a", "ab", "abc", "b", "zzz"]:
+            assert persistent.lookup(keyword) == in_memory.lookup(keyword)
+
+
+class TestStorMWithPersistentIndex:
+    def test_search_uses_persistent_index(self):
+        store = StorM(index_disk=InMemoryDisk(page_size=256))
+        store.put(["jazz"], b"one")
+        store.put(["rock"], b"two")
+        result = store.search("jazz")
+        assert result.match_count == 1
+        assert result.matches[0][1].payload == b"one"
+
+    def test_delete_updates_persistent_index(self):
+        store = StorM(index_disk=InMemoryDisk(page_size=256))
+        target = store.put(["jazz"], b"bye")
+        store.delete(target)
+        assert store.search("jazz").match_count == 0
+
+    def test_index_survives_reopen_without_rescan(self, tmp_path):
+        heap_path = str(tmp_path / "heap.db")
+        index_path = str(tmp_path / "index.db")
+        store = StorM(
+            disk=FileDisk(heap_path, page_size=512),
+            index_disk=FileDisk(index_path, page_size=512),
+        )
+        for i in range(50):
+            store.put([f"kw{i % 5}"], bytes([i]))
+        store.close()
+
+        reopened = StorM(
+            disk=FileDisk(heap_path, page_size=512),
+            index_disk=FileDisk(index_path, page_size=512),
+        )
+        assert reopened.search("kw3").match_count == 10
+        reopened.close()
+
+    def test_fresh_index_over_existing_heap_rebuilds(self, tmp_path):
+        heap_path = str(tmp_path / "heap.db")
+        store = StorM(disk=FileDisk(heap_path, page_size=512))
+        store.put(["late"], b"indexed afterwards")
+        store.close()
+        # Reopen with a *new* persistent index: it must rebuild from heap.
+        reopened = StorM(
+            disk=FileDisk(heap_path, page_size=512),
+            index_disk=FileDisk(str(tmp_path / "new-index.db"), page_size=512),
+        )
+        assert reopened.search("late").match_count == 1
+        reopened.close()
+
+    def test_search_and_scan_agree_with_persistent_index(self):
+        store = StorM(index_disk=InMemoryDisk(page_size=256))
+        for i in range(30):
+            store.put([f"kw{i % 3}"], bytes([i]))
+        via_index = sorted(r for r, _ in store.search("kw1").matches)
+        via_scan = sorted(r for r, _ in store.search_scan("kw1").matches)
+        assert via_index == via_scan

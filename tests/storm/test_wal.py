@@ -1,0 +1,177 @@
+"""Tests for write-ahead logging and crash recovery."""
+
+import os
+
+import pytest
+
+from repro.errors import StormError
+from repro.storm import FileDisk, StorM
+from repro.storm.wal import WriteAheadLog
+
+
+class TestWriteAheadLog:
+    def test_append_and_replay_committed(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "log.wal"))
+        wal.append(0, b"\x01" * 64)
+        wal.append(1, b"\x02" * 64)
+        wal.mark_commit()
+        wal.sync()
+        records = list(wal.replay())
+        assert [(page, data[0]) for _, page, data in records] == [(0, 1), (1, 2)]
+        wal.close()
+
+    def test_uncommitted_batch_dropped(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "log.wal"))
+        wal.append(0, b"\x01" * 64)
+        wal.mark_commit()
+        wal.append(1, b"\x02" * 64)  # no commit marker follows
+        wal.sync()
+        records = list(wal.replay())
+        assert [page for _, page, _ in records] == [0]
+        wal.close()
+
+    def test_torn_tail_stops_replay(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(0, b"\x01" * 64)
+        wal.mark_commit()
+        wal.append(1, b"\x02" * 64)
+        wal.mark_commit()
+        wal.sync()
+        wal.close()
+        # Simulate a crash mid-write: chop bytes off the tail.
+        with open(path, "r+b") as handle:
+            handle.truncate(os.path.getsize(path) - 10)
+        reopened = WriteAheadLog(path)
+        records = list(reopened.replay())
+        assert [page for _, page, _ in records] == [0]
+        reopened.close()
+
+    def test_corrupt_record_stops_replay(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        wal.append(0, b"\x01" * 64)
+        wal.mark_commit()
+        wal.append(1, b"\x02" * 64)
+        wal.mark_commit()
+        wal.sync()
+        wal.close()
+        # Flip a byte inside the second record's payload.
+        size = os.path.getsize(path)
+        with open(path, "r+b") as handle:
+            handle.seek(size - 30)
+            handle.write(b"\xff")
+        reopened = WriteAheadLog(path)
+        assert [page for _, page, _ in reopened.replay()] == [0]
+        reopened.close()
+
+    def test_truncate(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "log.wal"))
+        wal.append(0, b"\x01" * 64)
+        wal.mark_commit()
+        wal.truncate()
+        assert wal.size_bytes == 0
+        assert list(wal.replay()) == []
+        wal.close()
+
+    def test_closed_wal_raises(self, tmp_path):
+        wal = WriteAheadLog(str(tmp_path / "log.wal"))
+        wal.close()
+        with pytest.raises(StormError):
+            wal.append(0, b"")
+        wal.close()  # idempotent
+
+    def test_lsn_monotone_across_reopen(self, tmp_path):
+        path = str(tmp_path / "log.wal")
+        wal = WriteAheadLog(path)
+        first = wal.append(0, b"x")
+        wal.mark_commit()
+        wal.sync()
+        wal.close()
+        reopened = WriteAheadLog(path)
+        list(reopened.replay())
+        later = reopened.append(0, b"y")
+        assert later > first
+        reopened.close()
+
+
+class TestStorMDurability:
+    def paths(self, tmp_path):
+        return str(tmp_path / "heap.db"), str(tmp_path / "heap.wal")
+
+    def open_store(self, tmp_path):
+        heap, wal = self.paths(tmp_path)
+        return StorM(disk=FileDisk(heap, page_size=512), wal_path=wal)
+
+    def test_committed_data_survives_crash(self, tmp_path):
+        store = self.open_store(tmp_path)
+        store.put(["jazz"], b"must survive")
+        store.commit()
+        store.crash()  # dirty pages never reached the heap file
+
+        recovered = self.open_store(tmp_path)
+        result = recovered.search("jazz")
+        assert result.match_count == 1
+        assert result.matches[0][1].payload == b"must survive"
+        recovered.close()
+
+    def test_uncommitted_data_lost_on_crash(self, tmp_path):
+        store = self.open_store(tmp_path)
+        store.put(["jazz"], b"committed")
+        store.commit()
+        store.put(["jazz"], b"never committed")
+        store.crash()
+
+        recovered = self.open_store(tmp_path)
+        payloads = {obj.payload for _, obj in recovered.search("jazz").matches}
+        assert payloads == {b"committed"}
+        recovered.close()
+
+    def test_multiple_commits_all_replayed(self, tmp_path):
+        store = self.open_store(tmp_path)
+        for i in range(5):
+            store.put(["batch"], bytes([i]) * 32)
+            store.commit()
+        store.crash()
+        recovered = self.open_store(tmp_path)
+        assert recovered.search("batch").match_count == 5
+        recovered.close()
+
+    def test_checkpoint_truncates_log(self, tmp_path):
+        heap, wal_path = self.paths(tmp_path)
+        store = self.open_store(tmp_path)
+        store.put(["jazz"], b"x")
+        store.commit()
+        assert os.path.getsize(wal_path) > 0
+        store.checkpoint()
+        assert os.path.getsize(wal_path) == 0
+        store.crash()  # everything already in the heap file
+        recovered = self.open_store(tmp_path)
+        assert recovered.search("jazz").match_count == 1
+        recovered.close()
+
+    def test_clean_close_leaves_empty_log(self, tmp_path):
+        _, wal_path = self.paths(tmp_path)
+        store = self.open_store(tmp_path)
+        store.put(["jazz"], b"x")
+        store.commit()
+        store.close()
+        assert os.path.getsize(wal_path) == 0
+
+    def test_commit_without_wal_raises(self):
+        store = StorM()
+        with pytest.raises(StormError):
+            store.commit()
+        with pytest.raises(StormError):
+            store.checkpoint()
+
+    def test_crash_recovery_is_idempotent(self, tmp_path):
+        store = self.open_store(tmp_path)
+        store.put(["jazz"], b"x")
+        store.commit()
+        store.crash()
+        once = self.open_store(tmp_path)
+        once.crash()  # recovered, then crashed again without commits
+        twice = self.open_store(tmp_path)
+        assert twice.search("jazz").match_count == 1
+        twice.close()

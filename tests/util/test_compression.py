@@ -1,0 +1,64 @@
+"""Tests for repro.util.compression."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.compression import DEFAULT_CODEC, GzipCodec, IdentityCodec
+
+
+class TestGzipCodec:
+    def test_round_trip(self):
+        codec = GzipCodec()
+        data = b"hello bestpeer " * 100
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_compresses_redundant_data(self):
+        codec = GzipCodec()
+        data = b"a" * 10_000
+        assert len(codec.compress(data)) < len(data)
+
+    def test_deterministic_output(self):
+        codec = GzipCodec()
+        data = b"deterministic payload"
+        assert codec.compress(data) == codec.compress(data)
+
+    def test_level_validation(self):
+        with pytest.raises(ValueError):
+            GzipCodec(level=10)
+        with pytest.raises(ValueError):
+            GzipCodec(level=-1)
+
+    def test_level_zero_round_trips(self):
+        codec = GzipCodec(level=0)
+        data = b"stored, not compressed"
+        assert codec.decompress(codec.compress(data)) == data
+
+    def test_corrupt_payload_raises_value_error(self):
+        codec = GzipCodec()
+        with pytest.raises(ValueError):
+            codec.decompress(b"this is not gzip")
+
+    def test_truncated_payload_raises_value_error(self):
+        codec = GzipCodec()
+        compressed = codec.compress(b"x" * 1000)
+        with pytest.raises(ValueError):
+            codec.decompress(compressed[: len(compressed) // 2])
+
+    @given(st.binary(max_size=4096))
+    def test_round_trip_property(self, data):
+        codec = GzipCodec()
+        assert codec.decompress(codec.compress(data)) == data
+
+
+class TestIdentityCodec:
+    def test_is_noop(self):
+        codec = IdentityCodec()
+        data = b"untouched"
+        assert codec.compress(data) == data
+        assert codec.decompress(data) == data
+
+
+def test_default_codec_is_gzip():
+    assert isinstance(DEFAULT_CODEC, GzipCodec)
+    assert DEFAULT_CODEC.name == "gzip"

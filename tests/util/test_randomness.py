@@ -1,0 +1,33 @@
+"""Tests for repro.util.randomness."""
+
+from repro.util.randomness import SeedSequence, derive_rng
+
+
+def test_same_scope_same_stream():
+    a = derive_rng(42, "workload", 3)
+    b = derive_rng(42, "workload", 3)
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_scope_different_stream():
+    a = derive_rng(42, "workload", 3)
+    b = derive_rng(42, "workload", 4)
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_different_seed_different_stream():
+    a = derive_rng(1, "x")
+    b = derive_rng(2, "x")
+    assert [a.random() for _ in range(10)] != [b.random() for _ in range(10)]
+
+
+def test_seed_sequence_deterministic():
+    seq1 = SeedSequence(99)
+    seq2 = SeedSequence(99)
+    assert [seq1.spawn() for _ in range(5)] == [seq2.spawn() for _ in range(5)]
+
+
+def test_seed_sequence_children_distinct():
+    seq = SeedSequence(7)
+    children = [seq.spawn() for _ in range(100)]
+    assert len(set(children)) == 100

@@ -1,0 +1,93 @@
+"""Tests for repro.util.stats."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.stats import RunningStats, mean, percentile
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestMean:
+    def test_basic(self):
+        assert mean([1, 2, 3]) == 2.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            mean([])
+
+    def test_accepts_generator(self):
+        assert mean(x for x in [2.0, 4.0]) == 3.0
+
+
+class TestPercentile:
+    def test_median_odd(self):
+        assert percentile([3, 1, 2], 50) == 2
+
+    def test_median_even_interpolates(self):
+        assert percentile([1, 2, 3, 4], 50) == 2.5
+
+    def test_extremes(self):
+        values = [5, 1, 9, 3]
+        assert percentile(values, 0) == 1
+        assert percentile(values, 100) == 9
+
+    def test_single_value(self):
+        assert percentile([7], 30) == 7
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+    def test_out_of_range_q_raises(self):
+        with pytest.raises(ValueError):
+            percentile([1], 101)
+        with pytest.raises(ValueError):
+            percentile([1], -1)
+
+
+class TestRunningStats:
+    def test_matches_statistics_module(self):
+        values = [1.5, 2.5, -3.0, 10.0, 0.0]
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.count == 5
+        assert stats.mean == pytest.approx(statistics.mean(values))
+        assert stats.variance == pytest.approx(statistics.variance(values))
+        assert stats.stdev == pytest.approx(statistics.stdev(values))
+        assert stats.minimum == -3.0
+        assert stats.maximum == 10.0
+
+    def test_single_sample_zero_variance(self):
+        stats = RunningStats()
+        stats.add(4.2)
+        assert stats.variance == 0.0
+        assert stats.stdev == 0.0
+
+    def test_empty_raises(self):
+        stats = RunningStats()
+        with pytest.raises(ValueError):
+            _ = stats.mean
+        with pytest.raises(ValueError):
+            _ = stats.variance
+
+    def test_repr_mentions_count(self):
+        stats = RunningStats()
+        assert "empty" in repr(stats)
+        stats.add(1.0)
+        assert "n=1" in repr(stats)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_welford_agrees_with_naive(self, values):
+        stats = RunningStats()
+        stats.extend(values)
+        assert stats.mean == pytest.approx(statistics.mean(values), abs=1e-6)
+        assert math.sqrt(stats.variance) == pytest.approx(
+            statistics.stdev(values), abs=1e-5
+        )
