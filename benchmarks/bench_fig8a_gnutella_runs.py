@@ -6,17 +6,19 @@ peer) and subsequent runs drop sharply once reconfiguration connects the
 base straight to the answer-bearing nodes; BP beats Gnutella in all runs.
 """
 
-from benchmarks.support import PAPER, publish
+from benchmarks.support import PAPER, publish, timed
 from repro.eval.figures import figure_8a
 
 
 def test_figure_8a_gnutella_runs(benchmark):
-    result = benchmark.pedantic(
-        lambda: figure_8a(PAPER, node_count=32, max_peers=8, holder_count=3),
+    result, elapsed = benchmark.pedantic(
+        lambda: timed(
+            lambda: figure_8a(PAPER, node_count=32, max_peers=8, holder_count=3)
+        ),
         rounds=1,
         iterations=1,
     )
-    publish("figure_8a", result)
+    publish("figure_8a", result, elapsed=elapsed)
     bp = result.y_values("BP")
     gnutella = result.y_values("Gnutella")
     # Gnutella: same search path each run.

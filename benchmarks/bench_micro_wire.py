@@ -1,0 +1,80 @@
+"""Microbenchmark: the wire-path encoding cache on a fan-out workload.
+
+A flood protocol hands the *same* payload object to ``Host.send`` once
+per neighbour.  With the :class:`~repro.util.serialization.WireEncoder`
+cache the pickle+gzip work happens once per payload; with the cache
+disabled (capacity 0) it happens once per recipient.  This bench times
+both over an identical fan-out pattern, asserts the byte-for-byte wire
+sizes match, and writes ``BENCH_wire.json`` with the measured speedup.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.support import RESULTS_DIR
+from repro.util.compression import DEFAULT_CODEC
+from repro.util.serialization import WireEncoder
+
+#: distinct payloads (think: distinct queries crossing the network)
+PAYLOADS = 200
+#: recipients per payload (think: flood fan-out degree)
+FAN_OUT = 32
+
+
+def _payloads() -> list[dict]:
+    return [
+        {
+            "query": f"keyword-{index}",
+            "state": {"visited": list(range(index % 17)), "hops": index % 7},
+            "body": bytes(range(256)) * 4,
+        }
+        for index in range(PAYLOADS)
+    ]
+
+
+def _encode_all(encoder: WireEncoder) -> tuple[list[int], float]:
+    payloads = _payloads()
+    start = time.perf_counter()
+    sizes = [
+        encoder.encode(payload).compressed_size
+        for payload in payloads
+        for _ in range(FAN_OUT)
+    ]
+    return sizes, time.perf_counter() - start
+
+
+def test_wire_encoder_fan_out(benchmark):
+    cached = WireEncoder(DEFAULT_CODEC)
+    uncached = WireEncoder(DEFAULT_CODEC, capacity=0)
+
+    cached_sizes, cached_seconds = benchmark.pedantic(
+        lambda: _encode_all(cached), rounds=1, iterations=1
+    )
+    uncached_sizes, uncached_seconds = _encode_all(uncached)
+
+    # The cache may only change speed, never bytes.
+    assert cached_sizes == uncached_sizes
+    assert cached.hits == PAYLOADS * (FAN_OUT - 1)
+    assert cached.misses == PAYLOADS
+    assert uncached.hits == 0
+
+    speedup = uncached_seconds / cached_seconds
+    payload = {
+        "name": "wire",
+        "payloads": PAYLOADS,
+        "fan_out": FAN_OUT,
+        "cached_seconds": round(cached_seconds, 4),
+        "uncached_seconds": round(uncached_seconds, 4),
+        "speedup": round(speedup, 2),
+    }
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, "BENCH_wire.json"), "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"\nwire fan-out: cached {cached_seconds:.4f}s "
+          f"vs uncached {uncached_seconds:.4f}s ({speedup:.1f}x)")
+    # Fan-out of 32 should be far more than 2x faster encoded-once.
+    assert speedup > 2.0

@@ -55,7 +55,14 @@ class AgentEnvelope:
         return replace(self, ttl=self.ttl - 1, hops=self.hops + 1, source=source)
 
     def with_source(self, source: str | None) -> "AgentEnvelope":
-        """Same hop, different source inclusion (per-destination choice)."""
+        """Same hop, different source inclusion (per-destination choice).
+
+        Returns ``self`` when nothing changes, so a flood fan-out sends
+        one envelope *object* to every peer and the network's wire
+        encoder serializes it exactly once.
+        """
+        if source == self.source:
+            return self
         return replace(self, source=source)
 
     def with_state(self, state: dict[str, Any]) -> "AgentEnvelope":

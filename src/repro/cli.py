@@ -19,7 +19,12 @@ import argparse
 from typing import Callable, Sequence
 
 from repro.eval import ablations, figures
-from repro.eval.experiment import FigureResult
+from repro.eval.experiment import (
+    ExperimentRunner,
+    FigureResult,
+    ParallelExperimentRunner,
+    default_jobs,
+)
 from repro.eval.figures import FigureParams
 from repro.eval.report import format_figure
 
@@ -85,6 +90,15 @@ def _add_scale_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--seed", type=int, default=0, help="experiment seed")
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        help=(
+            "worker processes for independent sweep points "
+            "(default: $REPRO_JOBS or 1 = serial; results are identical)"
+        ),
+    )
+    parser.add_argument(
         "--plot",
         action="store_true",
         help="also render an ASCII chart of the series",
@@ -97,6 +111,16 @@ def _params(args: argparse.Namespace) -> FigureParams:
     )
 
 
+def _runner(args: argparse.Namespace) -> ExperimentRunner | None:
+    """A parallel runner when ``--jobs``/``REPRO_JOBS`` asks for one."""
+    jobs = args.jobs if args.jobs is not None else default_jobs()
+    if jobs < 1:
+        raise SystemExit(f"error: --jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return None
+    return ParallelExperimentRunner(jobs=jobs)
+
+
 def _run_list() -> int:
     print("figures:   " + "  ".join(sorted(FIGURES)))
     print("ablations: " + "  ".join(sorted(ABLATIONS)))
@@ -104,7 +128,7 @@ def _run_list() -> int:
 
 
 def _run_figure(args: argparse.Namespace) -> int:
-    result = FIGURES[args.name](_params(args))
+    result = FIGURES[args.name](_params(args), runner=_runner(args))
     _emit(result, args)
     return 0
 
@@ -128,10 +152,11 @@ def _run_verify(args: argparse.Namespace) -> int:
     from repro.eval.claims import CLAIMS, verify_all
 
     params = _params(args)
+    runner = _runner(args)
     results = {}
     for key in sorted(CLAIMS):
         print(f"running figure {key} ...", flush=True)
-        results[key] = FIGURES[key](params)
+        results[key] = FIGURES[key](params, runner=runner)
     report = verify_all(results)
     print()
     print(report)

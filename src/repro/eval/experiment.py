@@ -2,11 +2,31 @@
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import pickle
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 from repro.errors import ExperimentError
 from repro.util.stats import RunningStats
+
+#: Environment variable consulted for the default worker count.
+JOBS_ENV_VAR = "REPRO_JOBS"
+
+
+def default_jobs() -> int:
+    """Worker count from ``REPRO_JOBS`` (1 — fully serial — when unset)."""
+    raw = os.environ.get(JOBS_ENV_VAR, "").strip()
+    if not raw:
+        return 1
+    try:
+        jobs = int(raw)
+    except ValueError:
+        raise ExperimentError(f"{JOBS_ENV_VAR}={raw!r} is not an integer") from None
+    if jobs < 1:
+        raise ExperimentError(f"{JOBS_ENV_VAR} must be >= 1, got {jobs}")
+    return jobs
 
 
 @dataclass
@@ -52,10 +72,58 @@ class ExperimentRunner:
     def measure(self, run: Callable[[int], float]) -> RunningStats:
         """Call ``run(seed)`` once per repetition; aggregate the floats."""
         stats = RunningStats()
-        for repetition in range(self.repetitions):
-            stats.add(run(self.base_seed + repetition))
+        for value in self.collect(run):
+            stats.add(value)
         return stats
 
     def collect(self, run: Callable[[int], object]) -> list:
         """Call ``run(seed)`` per repetition; return all results."""
-        return [run(self.base_seed + rep) for rep in range(self.repetitions)]
+        seeds = [self.base_seed + rep for rep in range(self.repetitions)]
+        return self.map_tasks(run, seeds)
+
+    def map_tasks(self, func: Callable, tasks: Sequence) -> list:
+        """Apply ``func`` to every task, in order.  Subclasses may fan out;
+        the base runner is strictly serial."""
+        return [func(task) for task in tasks]
+
+
+class ParallelExperimentRunner(ExperimentRunner):
+    """An :class:`ExperimentRunner` that fans independent tasks out to a
+    ``multiprocessing`` pool.
+
+    Every simulation is seeded and single-threaded, so repetitions and
+    sweep points are embarrassingly parallel: results are collected in
+    task order and are bit-identical to a serial run.  ``jobs`` defaults
+    to ``REPRO_JOBS`` (or 1); with one job — or with a task function the
+    pickler cannot ship (e.g. a closure) — execution silently stays
+    serial, so this class is always safe to use.
+    """
+
+    def __init__(
+        self,
+        repetitions: int = 3,
+        base_seed: int = 0,
+        jobs: int | None = None,
+    ):
+        super().__init__(repetitions=repetitions, base_seed=base_seed)
+        self.jobs = default_jobs() if jobs is None else jobs
+        if self.jobs < 1:
+            raise ExperimentError(f"jobs must be >= 1, got {self.jobs}")
+
+    def map_tasks(self, func: Callable, tasks: Sequence) -> list:
+        tasks = list(tasks)
+        workers = min(self.jobs, len(tasks))
+        if workers <= 1 or not _picklable((func, tasks)):
+            return [func(task) for task in tasks]
+        with multiprocessing.get_context().Pool(workers) as pool:
+            # Pool.map preserves task order, so the result list is
+            # indistinguishable from the serial one.
+            return pool.map(func, tasks)
+
+
+def _picklable(obj: object) -> bool:
+    try:
+        pickle.dumps(obj)
+    except Exception:
+        return False
+    return True

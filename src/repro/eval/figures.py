@@ -36,7 +36,7 @@ from repro.baselines.gnutella import build_gnutella_network
 from repro.core.builder import build_network
 from repro.core.config import BestPeerConfig
 from repro.errors import ExperimentError
-from repro.eval.experiment import FigureResult
+from repro.eval.experiment import ExperimentRunner, FigureResult
 from repro.eval.metrics import (
     Arrival,
     answer_curve,
@@ -221,6 +221,96 @@ def _mean_completion(runs: list[list[Arrival]]) -> float:
 
 
 # ---------------------------------------------------------------------------
+# Task plumbing: every sweep point is an independent, picklable task
+# ---------------------------------------------------------------------------
+#
+# Each figure builds a list of plain-tuple tasks and maps a module-level
+# function over them.  With the default (no runner / a serial runner)
+# this is exactly the old inline loop; with a
+# :class:`~repro.eval.experiment.ParallelExperimentRunner` the tasks fan
+# out to worker processes.  Deployments are rebuilt from the task tuple
+# inside the worker, and every simulation is fully seeded, so results
+# are bit-identical either way.  Task order mirrors the original
+# ``add_point`` order, keeping series contents byte-for-byte stable.
+
+
+def _run_tasks(runner: ExperimentRunner | None, func, tasks: list) -> list:
+    if runner is None:
+        return [func(task) for task in tasks]
+    return runner.map_tasks(func, tasks)
+
+
+def _topology_for(kind: str, x: int) -> Topology:
+    if kind == "star":
+        return star(x)
+    if kind == "tree":
+        return tree(tree_size_for_level(x), branching=2)
+    if kind == "line":
+        return line(x)
+    raise ExperimentError(f"unknown topology kind {kind!r}")
+
+
+def _scheme_completion(task: tuple[str, int, str, "FigureParams"]) -> float:
+    """One Figure-5 sweep point: mean completion of one scheme at one x."""
+    kind, x, scheme, params = task
+    topology = _topology_for(kind, x)
+    if scheme == SCHEME_SCS:
+        runs = _cs_runs(topology, VARIANT_SCS, params)
+    elif scheme == SCHEME_MCS:
+        runs = _cs_runs(topology, VARIANT_MCS, params)
+    elif scheme == SCHEME_BPS:
+        runs = _bestpeer_runs(topology, False, params)
+    elif scheme == SCHEME_BPR:
+        runs = _bestpeer_runs(topology, True, params)
+    else:
+        raise ExperimentError(f"unknown scheme {scheme!r}")
+    return _mean_completion(runs)
+
+
+def _figure_67_runs(
+    task: tuple[str, int, "FigureParams"],
+) -> list[list[Arrival]]:
+    """All runs for one scheme of the shared Figure 6/7 experiment."""
+    scheme, node_count, params = task
+    topology = tree(node_count, branching=2)
+    if scheme == SCHEME_MCS:
+        return _cs_runs(topology, VARIANT_MCS, params)
+    if scheme == SCHEME_BPS:
+        return _bestpeer_runs(topology, False, params)
+    if scheme == SCHEME_BPR:
+        return _bestpeer_runs(topology, True, params)
+    raise ExperimentError(f"unknown scheme {scheme!r}")
+
+
+def _figure_8_runs(
+    task: tuple[str, int, int, int, int, int, "FigureParams"],
+) -> list[list[Arrival]]:
+    """All runs for one system (BP or Gnutella) of a Figure-8 point."""
+    system, node_count, peers, degree, holder_count, answers_per_holder, params = task
+    topology = random_graph(node_count, degree=degree, seed=params.seed)
+    placement = AnswerPlacement(
+        node_count=node_count,
+        holder_count=holder_count,
+        answers_per_holder=answers_per_holder,
+        seed=params.seed,
+    )
+    if system == "BP":
+        return _bestpeer_runs(
+            topology,
+            True,
+            replace(params, k_base=peers),
+            keyword=placement.keyword,
+            placement=placement,
+            result_mode="metadata",
+        )
+    if system == "Gnutella":
+        return _gnutella_runs(
+            topology, params, keyword=placement.keyword, placement=placement
+        )
+    raise ExperimentError(f"unknown system {system!r}")
+
+
+# ---------------------------------------------------------------------------
 # Figure 5: completion time on Star / Tree / Line topologies
 # ---------------------------------------------------------------------------
 
@@ -228,6 +318,7 @@ def _mean_completion(runs: list[list[Arrival]]) -> float:
 def figure_5a(
     params: FigureParams | None = None,
     sizes: tuple[int, ...] = (1, 2, 4, 8, 16, 24, 32),
+    runner: ExperimentRunner | None = None,
 ) -> FigureResult:
     """Star topology: completion time vs. network size, all four schemes."""
     params = params if params is not None else FigureParams()
@@ -238,20 +329,10 @@ def figure_5a(
         y_label="completion time (s)",
         notes="SCS serializes its conversations; MCS/BPS/BPR are parallel.",
     )
-    for size in sizes:
-        topology = star(size)
-        result.add_point(
-            SCHEME_SCS, size, _mean_completion(_cs_runs(topology, VARIANT_SCS, params))
-        )
-        result.add_point(
-            SCHEME_MCS, size, _mean_completion(_cs_runs(topology, VARIANT_MCS, params))
-        )
-        result.add_point(
-            SCHEME_BPS, size, _mean_completion(_bestpeer_runs(topology, False, params))
-        )
-        result.add_point(
-            SCHEME_BPR, size, _mean_completion(_bestpeer_runs(topology, True, params))
-        )
+    schemes = (SCHEME_SCS, SCHEME_MCS, SCHEME_BPS, SCHEME_BPR)
+    tasks = [("star", size, scheme, params) for size in sizes for scheme in schemes]
+    for task, y in zip(tasks, _run_tasks(runner, _scheme_completion, tasks)):
+        result.add_point(task[2], task[1], y)
     return result
 
 
@@ -266,6 +347,7 @@ def tree_size_for_level(level: int) -> int:
 def figure_5b(
     params: FigureParams | None = None,
     levels: tuple[int, ...] = (1, 2, 3, 4, 5),
+    runner: ExperimentRunner | None = None,
 ) -> FigureResult:
     """Tree topology: completion time vs. tree level (CS / BPS / BPR)."""
     params = params if params is not None else FigureParams()
@@ -276,23 +358,17 @@ def figure_5b(
         y_label="completion time (s)",
         notes="CS relays results along the path; BPS/BPR answer directly.",
     )
-    for level in levels:
-        topology = tree(tree_size_for_level(level), branching=2)
-        result.add_point(
-            SCHEME_MCS, level, _mean_completion(_cs_runs(topology, VARIANT_MCS, params))
-        )
-        result.add_point(
-            SCHEME_BPS, level, _mean_completion(_bestpeer_runs(topology, False, params))
-        )
-        result.add_point(
-            SCHEME_BPR, level, _mean_completion(_bestpeer_runs(topology, True, params))
-        )
+    schemes = (SCHEME_MCS, SCHEME_BPS, SCHEME_BPR)
+    tasks = [("tree", level, scheme, params) for level in levels for scheme in schemes]
+    for task, y in zip(tasks, _run_tasks(runner, _scheme_completion, tasks)):
+        result.add_point(task[2], task[1], y)
     return result
 
 
 def figure_5c(
     params: FigureParams | None = None,
     sizes: tuple[int, ...] = (2, 4, 8, 16, 24, 32),
+    runner: ExperimentRunner | None = None,
 ) -> FigureResult:
     """Line topology: completion time vs. network size (CS / BPS / BPR)."""
     params = params if params is not None else FigureParams()
@@ -303,17 +379,10 @@ def figure_5c(
         y_label="completion time (s)",
         notes="The base is the left-most node of the chain.",
     )
-    for size in sizes:
-        topology = line(size)
-        result.add_point(
-            SCHEME_MCS, size, _mean_completion(_cs_runs(topology, VARIANT_MCS, params))
-        )
-        result.add_point(
-            SCHEME_BPS, size, _mean_completion(_bestpeer_runs(topology, False, params))
-        )
-        result.add_point(
-            SCHEME_BPR, size, _mean_completion(_bestpeer_runs(topology, True, params))
-        )
+    schemes = (SCHEME_MCS, SCHEME_BPS, SCHEME_BPR)
+    tasks = [("line", size, scheme, params) for size in sizes for scheme in schemes]
+    for task, y in zip(tasks, _run_tasks(runner, _scheme_completion, tasks)):
+        result.add_point(task[2], task[1], y)
     return result
 
 
@@ -323,12 +392,13 @@ def figure_5c(
 
 
 def figures_6_and_7(
-    params: FigureParams | None = None, node_count: int = 32
+    params: FigureParams | None = None,
+    node_count: int = 32,
+    runner: ExperimentRunner | None = None,
 ) -> tuple[FigureResult, FigureResult]:
     """Both figures share the same runs: 32 nodes, tree, query issued
     ``params.queries`` times, per-responder averages across runs."""
     params = params if params is not None else FigureParams()
-    topology = tree(node_count, branching=2)
     rate = FigureResult(
         figure="Figure 6",
         title="Rate at which answers are returned",
@@ -343,12 +413,10 @@ def figures_6_and_7(
         y_label="cumulative answers",
         notes=f"{node_count}-node tree; averaged over {params.queries} runs.",
     )
-    runs_by_scheme = {
-        SCHEME_MCS: _cs_runs(topology, VARIANT_MCS, params),
-        SCHEME_BPS: _bestpeer_runs(topology, False, params),
-        SCHEME_BPR: _bestpeer_runs(topology, True, params),
-    }
-    for scheme, runs in runs_by_scheme.items():
+    schemes = (SCHEME_MCS, SCHEME_BPS, SCHEME_BPR)
+    tasks = [(scheme, node_count, params) for scheme in schemes]
+    all_runs = _run_tasks(runner, _figure_67_runs, tasks)
+    for scheme, runs in zip(schemes, all_runs):
         averaged_rate = average_curves([response_curve(run) for run in runs])
         for rank, when in averaged_rate:
             rate.add_point(scheme, rank, when)
@@ -358,14 +426,22 @@ def figures_6_and_7(
     return rate, quantity
 
 
-def figure_6(params: FigureParams | None = None, node_count: int = 32) -> FigureResult:
+def figure_6(
+    params: FigureParams | None = None,
+    node_count: int = 32,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
     """Figure 6 alone (runs the shared 6/7 experiment)."""
-    return figures_6_and_7(params, node_count)[0]
+    return figures_6_and_7(params, node_count, runner=runner)[0]
 
 
-def figure_7(params: FigureParams | None = None, node_count: int = 32) -> FigureResult:
+def figure_7(
+    params: FigureParams | None = None,
+    node_count: int = 32,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
     """Figure 7 alone (runs the shared 6/7 experiment)."""
-    return figures_6_and_7(params, node_count)[1]
+    return figures_6_and_7(params, node_count, runner=runner)[1]
 
 
 # ---------------------------------------------------------------------------
@@ -379,6 +455,7 @@ def figure_8a(
     max_peers: int = 8,
     holder_count: int = 3,
     answers_per_holder: int = 5,
+    runner: ExperimentRunner | None = None,
 ) -> FigureResult:
     """BP vs. Gnutella: completion time per run of the same query.
 
@@ -386,13 +463,6 @@ def figure_8a(
     random graph where each node has up to ``max_peers`` direct peers.
     """
     params = params if params is not None else FigureParams()
-    topology = random_graph(node_count, degree=max(2, max_peers // 2), seed=params.seed)
-    placement = AnswerPlacement(
-        node_count=node_count,
-        holder_count=holder_count,
-        answers_per_holder=answers_per_holder,
-        seed=params.seed,
-    )
     result = FigureResult(
         figure="Figure 8(a)",
         title="BestPeer vs Gnutella across repeated runs",
@@ -403,24 +473,16 @@ def figure_8a(
             f"up to {max_peers} direct peers"
         ),
     )
-    bp_params = replace(params, k_base=max_peers)
     # "while BP and Gnutella return results out-of-network, this feature
     # is not used in the experiment": BP ships match lists, not files.
-    bp_runs = _bestpeer_runs(
-        topology,
-        True,
-        bp_params,
-        keyword=placement.keyword,
-        placement=placement,
-        result_mode="metadata",
-    )
-    gnutella_runs = _gnutella_runs(
-        topology, params, keyword=placement.keyword, placement=placement
-    )
-    for run_index, run in enumerate(bp_runs, start=1):
-        result.add_point("BP", run_index, completion_time(run))
-    for run_index, run in enumerate(gnutella_runs, start=1):
-        result.add_point("Gnutella", run_index, completion_time(run))
+    degree = max(2, max_peers // 2)
+    tasks = [
+        (system, node_count, max_peers, degree, holder_count, answers_per_holder, params)
+        for system in ("BP", "Gnutella")
+    ]
+    for task, runs in zip(tasks, _run_tasks(runner, _figure_8_runs, tasks)):
+        for run_index, run in enumerate(runs, start=1):
+            result.add_point(task[0], run_index, completion_time(run))
     return result
 
 
@@ -430,6 +492,7 @@ def figure_8b(
     peer_counts: tuple[int, ...] = (2, 4, 6, 8),
     holder_count: int = 3,
     answers_per_holder: int = 5,
+    runner: ExperimentRunner | None = None,
 ) -> FigureResult:
     """BP vs. Gnutella: completion (avg over runs) vs. number of peers."""
     params = params if params is not None else FigureParams()
@@ -440,28 +503,19 @@ def figure_8b(
         y_label="completion time (s)",
         notes=f"averaged over {params.queries} runs of one query",
     )
-    placement = AnswerPlacement(
-        node_count=node_count,
-        holder_count=holder_count,
-        answers_per_holder=answers_per_holder,
-        seed=params.seed,
-    )
-    for peers in peer_counts:
-        topology = random_graph(
-            node_count, degree=max(1, peers // 2), seed=params.seed
+    tasks = [
+        (
+            system,
+            node_count,
+            peers,
+            max(1, peers // 2),
+            holder_count,
+            answers_per_holder,
+            params,
         )
-        bp_params = replace(params, k_base=peers)
-        bp_runs = _bestpeer_runs(
-            topology,
-            True,
-            bp_params,
-            keyword=placement.keyword,
-            placement=placement,
-            result_mode="metadata",
-        )
-        gnutella_runs = _gnutella_runs(
-            topology, params, keyword=placement.keyword, placement=placement
-        )
-        result.add_point("BP", peers, _mean_completion(bp_runs))
-        result.add_point("Gnutella", peers, _mean_completion(gnutella_runs))
+        for peers in peer_counts
+        for system in ("BP", "Gnutella")
+    ]
+    for task, runs in zip(tasks, _run_tasks(runner, _figure_8_runs, tasks)):
+        result.add_point(task[0], task[2], _mean_completion(runs))
     return result

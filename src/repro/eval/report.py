@@ -51,3 +51,25 @@ def format_figure(result: FigureResult) -> str:
     if result.notes:
         parts.append(f"note: {result.notes}")
     return "\n".join(parts)
+
+
+def network_stats(network) -> dict[str, object]:
+    """Traffic and wire-encoder counters for one ``Network``."""
+    hits = network.encode_hits
+    misses = network.encode_misses
+    total = hits + misses
+    return {
+        "packets_delivered": network.packets_delivered,
+        "packets_dropped": network.packets_dropped,
+        "bytes_carried": network.bytes_carried,
+        "encode_hits": hits,
+        "encode_misses": misses,
+        "encode_hit_ratio": (hits / total) if total else 0.0,
+    }
+
+
+def format_network_stats(network) -> str:
+    """Render one network's traffic/encoder counters as a text table."""
+    stats = network_stats(network)
+    rows = [[key, value] for key, value in stats.items()]
+    return format_table(["counter", "value"], rows)

@@ -2,31 +2,49 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any
 
 from repro.net.address import IPAddress
+from repro.util.serialization import deserialize
 
 #: Fixed per-packet protocol overhead (headers, framing), in bytes.
 PACKET_OVERHEAD_BYTES = 80
+
+#: Sentinel marking a packet whose payload has not been decoded yet.
+_UNDECODED = object()
 
 
 @dataclass(frozen=True, slots=True)
 class Packet:
     """One message travelling the simulated network.
 
-    ``payload`` is the already-decoded application object handed to the
-    receiving protocol handler; ``wire_size`` is the number of bytes the
-    serialized, compressed form (plus framing overhead) occupied on the
-    wire — the quantity the transmission-cost model charges for.
+    ``raw`` is the serialized (uncompressed) payload captured at send
+    time; ``wire_size`` is the number of bytes the compressed form (plus
+    framing overhead) occupied on the wire — the quantity the
+    transmission-cost model charges for.
+
+    ``payload`` deserializes ``raw`` lazily, on first access.  Receivers
+    therefore always get an independent copy snapshotted at send time
+    (hosts are separate machines; aliasing would be a lie), while packets
+    that are dropped en route — loss, no route, stale address — never pay
+    the deserialization at all.
     """
 
     src: IPAddress
     dst: IPAddress
     protocol: str
-    payload: Any
     wire_size: int
     sent_at: float
+    raw: bytes
+    _decoded: Any = field(default=_UNDECODED, repr=False, compare=False)
+
+    @property
+    def payload(self) -> Any:
+        """The decoded application object (deserialized on first access)."""
+        if self._decoded is _UNDECODED:
+            object.__setattr__(self, "_decoded", deserialize(self.raw))
+        return self._decoded
 
     def __str__(self) -> str:
         return (

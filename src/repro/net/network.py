@@ -24,7 +24,7 @@ from repro.net.message import PACKET_OVERHEAD_BYTES, Packet
 from repro.sim import FifoServer, Simulator
 from repro.util.compression import DEFAULT_CODEC, Codec
 from repro.util.randomness import derive_rng
-from repro.util.serialization import deserialize, serialize
+from repro.util.serialization import WireEncoder
 from repro.util.tracing import NULL_TRACER, Tracer
 
 #: CPU time to accept a packet and dispatch it to a handler (seconds).
@@ -102,22 +102,25 @@ class Host:
         """Transmit ``payload`` to ``dst``; returns the wire size in bytes.
 
         Serialization + compression happen immediately (their byte count
-        prices the transmission); the packet then queues on this host's
-        NIC and arrives ``latency`` after its transmission completes.
+        prices the transmission), but through the network's
+        :class:`~repro.util.serialization.WireEncoder`, so a fan-out loop
+        sending one payload object to many peers encodes it once.  The
+        packet then queues on this host's NIC and arrives ``latency``
+        after its transmission completes.  The receiver deserializes its
+        own copy of the send-time bytes on delivery — never a shared
+        object — and dropped packets skip that work entirely.
         """
         if not self.online or self.address is None:
             raise HostOffline(f"host {self.name} cannot send while offline")
-        raw = serialize(payload)
-        wire_size = len(self.network.codec.compress(raw)) + PACKET_OVERHEAD_BYTES
+        encoded = self.network.encoder.encode(payload)
+        wire_size = encoded.compressed_size + PACKET_OVERHEAD_BYTES
         packet = Packet(
             src=self.address,
             dst=dst,
             protocol=protocol,
-            # The receiver gets a genuine deserialized copy, never a shared
-            # object: hosts are separate machines, aliasing would be a lie.
-            payload=deserialize(raw),
             wire_size=wire_size,
             sent_at=self.sim.now,
+            raw=encoded.raw,
         )
         self.messages_sent += 1
         self.bytes_sent += wire_size
@@ -167,12 +170,20 @@ class Network:
         codec: Codec | None = None,
         tracer: Tracer | None = None,
         loss_seed: int = 0,
+        encoder: WireEncoder | None = None,
     ):
         self.sim = sim
         self.pool = pool if pool is not None else AddressPool()
         self.default_link = default_link if default_link is not None else LinkModel()
         self.codec = codec if codec is not None else DEFAULT_CODEC
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: shared wire-path fast path: encode each payload object once
+        #: per fan-out instead of once per recipient
+        self.encoder = (
+            encoder
+            if encoder is not None
+            else WireEncoder(self.codec, tracer=self.tracer)
+        )
         self._loss_rng = derive_rng(loss_seed, "packet-loss")
         self.hosts: dict[str, Host] = {}
         self._routes: dict[IPAddress, Host] = {}
@@ -181,6 +192,16 @@ class Network:
         self.packets_delivered = 0
         self.packets_dropped = 0
         self.bytes_carried = 0
+
+    @property
+    def encode_hits(self) -> int:
+        """Wire-encoder cache hits (payloads not re-serialized)."""
+        return self.encoder.hits
+
+    @property
+    def encode_misses(self) -> int:
+        """Wire-encoder cache misses (payloads fully encoded)."""
+        return self.encoder.misses
 
     # -- host management ----------------------------------------------------
 

@@ -25,7 +25,7 @@ class Timer:
     daemon timers remain on the heap.
     """
 
-    __slots__ = ("time", "callback", "args", "cancelled", "daemon")
+    __slots__ = ("time", "callback", "args", "cancelled", "daemon", "_sim")
 
     def __init__(
         self,
@@ -33,16 +33,22 @@ class Timer:
         callback: Callable[..., None],
         args: tuple,
         daemon: bool = False,
+        sim: "Simulator | None" = None,
     ):
         self.time = time
         self.callback = callback
         self.args = args
         self.cancelled = False
         self.daemon = daemon
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing (idempotent)."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._note_cancelled(self)
 
 
 class Simulator:
@@ -61,7 +67,12 @@ class Simulator:
         self._heap: list[tuple[float, int, Timer]] = []
         self._sequence = 0
         self._running = False
-        self._regular_count = 0  # non-daemon timers still on the heap
+        # Live (non-cancelled) timer counts, adjusted at schedule, cancel
+        # and fire time — cancelled entries still sitting on the heap are
+        # already excluded, so ``pending_events`` is O(1) and ``run()``
+        # never mistakes a sea of cancelled timers for remaining work.
+        self._regular_count = 0  # live non-daemon timers
+        self._live_count = 0  # live timers of either kind
 
     # -- scheduling ---------------------------------------------------------
 
@@ -80,12 +91,19 @@ class Simulator:
     ) -> Timer:
         if delay < 0:
             raise SchedulingError(f"cannot schedule {delay} into the past")
-        timer = Timer(self.now + delay, callback, args, daemon=daemon)
+        timer = Timer(self.now + delay, callback, args, daemon=daemon, sim=self)
         self._sequence += 1
         heapq.heappush(self._heap, (timer.time, self._sequence, timer))
+        self._live_count += 1
         if not daemon:
             self._regular_count += 1
         return timer
+
+    def _note_cancelled(self, timer: Timer) -> None:
+        """A live timer was cancelled (its heap entry lingers until popped)."""
+        self._live_count -= 1
+        if not timer.daemon:
+            self._regular_count -= 1
 
     def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Timer:
         """Schedule ``callback(*args)`` at absolute simulated ``time``."""
@@ -132,10 +150,11 @@ class Simulator:
         """Run the single next event.  Returns False if the heap is empty."""
         while self._heap:
             time, _seq, timer = heapq.heappop(self._heap)
+            if timer.cancelled:
+                continue  # counts were adjusted when it was cancelled
+            self._live_count -= 1
             if not timer.daemon:
                 self._regular_count -= 1
-            if timer.cancelled:
-                continue
             self.now = time
             timer.callback(*timer.args)
             return True
@@ -178,5 +197,5 @@ class Simulator:
 
     @property
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events on the heap."""
-        return sum(1 for _, _, timer in self._heap if not timer.cancelled)
+        """Number of not-yet-cancelled events on the heap (O(1))."""
+        return self._live_count

@@ -82,6 +82,10 @@ class BufferManager:
         self._frames = [_Frame() for _ in range(pool_size)]
         self._free: list[int] = list(range(pool_size))
         self._page_table: dict[int, int] = {}
+        # Occupied frames whose pin count is zero — the eviction
+        # candidates.  Maintained on every pin/unpin/evict so victim
+        # selection never scans the whole pool.
+        self._unpinned: set[int] = set()
 
     # -- pin / unpin ----------------------------------------------------------
 
@@ -97,6 +101,8 @@ class BufferManager:
         if frame_id is not None:
             frame = self._frames[frame_id]
             frame.pin_count += 1
+            if frame.pin_count == 1:
+                self._unpinned.discard(frame_id)
             self.strategy.on_page_accessed(frame_id)
             assert frame.data is not None
             return frame.data
@@ -113,10 +119,15 @@ class BufferManager:
 
     def unpin(self, page_id: int) -> None:
         """Release one pin on ``page_id``."""
-        frame = self._resident_frame(page_id)
+        frame_id = self._page_table.get(page_id)
+        if frame_id is None:
+            raise PageError(f"page {page_id} is not resident")
+        frame = self._frames[frame_id]
         if frame.pin_count <= 0:
             raise BufferError_(f"page {page_id} is not pinned")
         frame.pin_count -= 1
+        if frame.pin_count == 0:
+            self._unpinned.add(frame_id)
 
     @contextmanager
     def pinned(self, page_id: int):
@@ -215,17 +226,15 @@ class BufferManager:
     def _grab_frame(self) -> int:
         if self._free:
             return self._free.pop()
-        candidates = [
-            frame_id
-            for frame_id, frame in enumerate(self._frames)
-            if frame.pin_count == 0
-        ]
-        if not candidates:
+        if not self._unpinned:
             raise BufferFullError(
                 f"all {self.pool_size} frames are pinned; cannot evict"
             )
+        # Ascending frame-id order, exactly as the former full-pool scan
+        # produced — order-sensitive strategies see the same candidates.
+        candidates = sorted(self._unpinned)
         victim = self.strategy.choose_victim(candidates)
-        if victim not in candidates:
+        if victim not in self._unpinned:
             raise BufferError_(
                 f"strategy {self.strategy.name} chose pinned/unknown frame {victim}"
             )
@@ -241,6 +250,7 @@ class BufferManager:
             self.stats.physical_writes += 1
         del self._page_table[frame.page_id]
         self.strategy.on_page_evicted(frame_id)
+        self._unpinned.discard(frame_id)
         frame.page_id = None
         frame.data = None
         frame.pin_count = 0

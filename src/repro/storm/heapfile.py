@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from repro.errors import PageError, RecordNotFound
 from repro.storm.buffer import BufferManager
+from repro.storm.freespace import FreeSpaceMap
 from repro.storm.page import HEADER_SIZE, SLOT_SIZE, SlottedPage
 
 
@@ -33,13 +34,19 @@ class HeapFile:
     def __init__(self, buffer: BufferManager):
         self.buffer = buffer
         self.max_record_size = buffer.disk.page_size - HEADER_SIZE - SLOT_SIZE
-        # page_id -> post-compaction free bytes; rebuilt by scanning on open.
-        self._free_space: dict[int, int] = {}
+        # First-fit free-space index (rebuilt by scanning on open): finds
+        # the lowest page with room in O(log pages) instead of a scan.
+        self._free_space = FreeSpaceMap()
+        # Per-page mutation counters: bumped whenever a page's record set
+        # changes, so caches of decoded records (StorM's scan cache) can
+        # validate in O(1).  Compaction does not bump — it moves bytes
+        # without changing any live record's slot or contents.
+        self._versions: dict[int, int] = {}
         self._record_count = 0
         for page_id in range(buffer.disk.num_pages):
             with buffer.pinned(page_id) as data:
                 page = SlottedPage(data)
-                self._free_space[page_id] = page.free_space
+                self._free_space.set(page_id, page.free_space)
                 self._record_count += page.live_count
 
     # -- operations -----------------------------------------------------------
@@ -52,20 +59,21 @@ class HeapFile:
                 f"{self.max_record_size} for this page size"
             )
         needed = len(record) + SLOT_SIZE
-        for page_id, free in self._free_space.items():
-            if free < needed:
-                continue
+        page_id = self._free_space.first_at_least(needed)
+        while page_id is not None:
             slot = self._try_insert(page_id, record)
             if slot is not None:
                 self._record_count += 1
                 return RecordId(page_id, slot)
+            page_id = self._free_space.first_at_least(needed, start=page_id + 1)
         page_id, data = self.buffer.new_page()
         try:
             page = SlottedPage.format(data)
             slot = page.insert(record)
             assert slot is not None, "fresh page must fit a max-size record"
             self.buffer.mark_dirty(page_id)
-            self._free_space[page_id] = page.free_space
+            self._free_space.set(page_id, page.free_space)
+            self._bump_version(page_id)
         finally:
             self.buffer.unpin(page_id)
         self._record_count += 1
@@ -74,10 +82,18 @@ class HeapFile:
     def _try_insert(self, page_id: int, record: bytes) -> int | None:
         with self.buffer.pinned(page_id) as data:
             page = SlottedPage(data)
+            slots_before = page.slot_count
             slot = page.insert(record)
             if slot is not None:
                 self.buffer.mark_dirty(page_id)
-            self._free_space[page_id] = page.free_space
+                self._bump_version(page_id)
+                # The map is authoritative (updated on every mutation),
+                # so the new free space follows arithmetically — no
+                # O(slots) recount per insert.
+                spent = len(record) + (SLOT_SIZE if slot >= slots_before else 0)
+                self._free_space.set(
+                    page_id, self._free_space.get(page_id) - spent
+                )
             return slot
 
     def read(self, rid: RecordId) -> bytes:
@@ -100,7 +116,8 @@ class HeapFile:
             except PageError as exc:
                 raise RecordNotFound(f"no record at {rid}") from exc
             self.buffer.mark_dirty(rid.page_id)
-            self._free_space[rid.page_id] = page.free_space
+            self._free_space.set(rid.page_id, page.free_space)
+            self._bump_version(rid.page_id)
         self._record_count -= 1
 
     def exists(self, rid: RecordId) -> bool:
@@ -137,7 +154,7 @@ class HeapFile:
                 if after != before:
                     self.buffer.mark_dirty(page_id)
                     reclaimed += after - before
-                self._free_space[page_id] = page.free_space
+                self._free_space.set(page_id, page.free_space)
         return reclaimed
 
     # -- introspection -----------------------------------------------------------
@@ -149,6 +166,13 @@ class HeapFile:
     @property
     def record_count(self) -> int:
         return self._record_count
+
+    def page_version(self, page_id: int) -> int:
+        """Mutation counter for one page (0 until its records change)."""
+        return self._versions.get(page_id, 0)
+
+    def _bump_version(self, page_id: int) -> None:
+        self._versions[page_id] = self._versions.get(page_id, 0) + 1
 
     def _check_page(self, rid: RecordId) -> None:
         if not 0 <= rid.page_id < self.page_count:

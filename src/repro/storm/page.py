@@ -114,22 +114,39 @@ class SlottedPage:
         """Store a record; returns its slot number, or None if it cannot fit."""
         if len(record) > 0xFFFF:
             raise PageError(f"record of {len(record)} bytes exceeds u16 length")
-        reused_slot = self._find_dead_slot()
+        # One pass over the slot directory gathers everything the fit
+        # check needs (first dead slot + live byte total); the separate
+        # ``free_space``/``_find_dead_slot`` properties would walk it
+        # three times per insert.
+        slot_count, free_ptr = _HEADER.unpack_from(self.data, 0)
+        reused_slot = None
+        live = 0
+        position = self.page_size - SLOT_SIZE
+        for slot in range(slot_count):
+            offset, length = _SLOT.unpack_from(self.data, position)
+            if offset == 0:
+                if reused_slot is None:
+                    reused_slot = slot
+            else:
+                live += length
+            position -= SLOT_SIZE
+        dir_start = self.page_size - SLOT_SIZE * slot_count
         new_dir_bytes = 0 if reused_slot is not None else SLOT_SIZE
-        if self.free_space < len(record) + new_dir_bytes:
+        if dir_start - HEADER_SIZE - live < len(record) + new_dir_bytes:
             return None
         # Fits after compaction at worst; compact only if the contiguous
         # gap between the record area and the slot directory is too small.
-        if self._dir_start - new_dir_bytes - self._free_ptr < len(record):
+        if dir_start - new_dir_bytes - free_ptr < len(record):
             self.compact()
-        offset = self._free_ptr
+            free_ptr = self._free_ptr
+        offset = free_ptr
         self.data[offset : offset + len(record)] = record
         if reused_slot is None:
-            slot = self.slot_count
-            self._set_header(self.slot_count + 1, offset + len(record))
+            slot = slot_count
+            self._set_header(slot_count + 1, offset + len(record))
         else:
             slot = reused_slot
-            self._set_header(self.slot_count, offset + len(record))
+            self._set_header(slot_count, offset + len(record))
         self._set_slot_entry(slot, offset, len(record))
         return slot
 

@@ -34,7 +34,13 @@ class ReplacementStrategy:
         """The page in ``frame_id`` was evicted."""
 
     def choose_victim(self, candidates: Collection[int]) -> int:
-        """Pick the frame to evict among ``candidates`` (never empty)."""
+        """Pick the frame to evict among ``candidates`` (never empty).
+
+        The buffer manager always passes candidates in ascending
+        frame-id order, so strategies that break ties positionally
+        (min/max over equal stamps, clock sweeps) behave identically
+        however the evictable set is tracked internally.
+        """
         raise NotImplementedError
 
 

@@ -23,7 +23,12 @@ from repro.storm.disk import Disk, InMemoryDisk
 from repro.storm.heapfile import HeapFile, RecordId
 from repro.storm.index import KeywordIndex
 from repro.storm.objects import StoredObject
+from repro.storm.page import SlottedPage
 from repro.storm.replacement import ReplacementStrategy
+
+#: Default for :class:`StorM`'s decoded-scan cache.  Tests monkeypatch
+#: this to ``False`` to prove the cache changes no observable result.
+SCAN_CACHE_DEFAULT = True
 
 
 @dataclass
@@ -58,9 +63,19 @@ class StorM:
         index_disk: Disk | None = None,
         index_pool_size: int = 64,
         wal_path: str | None = None,
+        scan_cache: bool | None = None,
     ):
         self.disk = disk if disk is not None else InMemoryDisk()
         self._closed = False
+        self._scan_cache_enabled = (
+            SCAN_CACHE_DEFAULT if scan_cache is None else scan_cache
+        )
+        # page_id -> (page version, decoded records).  The buffer is still
+        # pinned/unpinned for every page on every scan — the simulated I/O
+        # accounting is untouched — only the CPU-side decode is reused.
+        self._scan_cache: dict[int, tuple[int, list[tuple[RecordId, StoredObject]]]] = {}
+        self.scan_cache_hits = 0
+        self.scan_cache_misses = 0
         if wal_path is not None:
             # Crash recovery happens before anything reads the heap:
             # committed page images in the log supersede the heap file.
@@ -131,10 +146,36 @@ class StorM:
         return StoredObject.decode(self.heap.read(rid))
 
     def scan(self) -> Iterator[tuple[RecordId, StoredObject]]:
-        """Yield every stored object in page order."""
+        """Yield every stored object in page order.
+
+        Pages whose contents have not changed since the last scan (checked
+        via :meth:`HeapFile.page_version`) reuse their previously decoded
+        objects instead of re-parsing every record.  Each page is pinned
+        and unpinned exactly as an uncached scan would, so buffer hit/miss
+        statistics — and therefore simulated I/O cost — are identical.
+        """
         self._check_open()
-        for rid, record in self.heap.scan():
-            yield rid, StoredObject.decode(record)
+        heap = self.heap
+        for page_id in range(heap.page_count):
+            version = heap.page_version(page_id)
+            cached = self._scan_cache.get(page_id) if self._scan_cache_enabled else None
+            data = heap.buffer.pin(page_id)
+            try:
+                if cached is not None and cached[0] == version:
+                    self.scan_cache_hits += 1
+                    entries = cached[1]
+                else:
+                    self.scan_cache_misses += 1
+                    page = SlottedPage(data)
+                    entries = [
+                        (RecordId(page_id, slot), StoredObject.decode(record))
+                        for slot, record in page.records()
+                    ]
+                    if self._scan_cache_enabled:
+                        self._scan_cache[page_id] = (version, entries)
+            finally:
+                heap.buffer.unpin(page_id)
+            yield from entries
 
     def search(self, keyword: str) -> SearchResult:
         """Keyword search via the inverted index (reads only matching pages)."""

@@ -12,10 +12,22 @@ of agent *code* goes through the explicit source-shipping path in
 from __future__ import annotations
 
 import pickle
-from typing import Any
+from collections import OrderedDict
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.util.compression import Codec
+    from repro.util.tracing import Tracer
 
 #: Protocol pinned for deterministic sizes across interpreter versions.
 PICKLE_PROTOCOL = 4
+
+#: Default number of payload objects a :class:`WireEncoder` memoizes.
+#: Fan-out sends (agent floods, CS broadcasts, Gnutella relays) reuse one
+#: payload object within a handful of simulator events, so a small cache
+#: captures nearly all repeats.  Set to 0 to disable encoding caches
+#: globally (the determinism regression tests do exactly that).
+WIRE_CACHE_CAPACITY = 128
 
 
 def serialize(obj: Any) -> bytes:
@@ -31,3 +43,81 @@ def deserialize(data: bytes) -> Any:
 def serialized_size(obj: Any) -> int:
     """Size in bytes of ``obj``'s serialized form (uncompressed)."""
     return len(serialize(obj))
+
+
+class EncodedPayload:
+    """One payload's wire form: serialized bytes plus compressed size.
+
+    ``raw`` is the uncompressed pickle — receivers deserialize it to get
+    an independent copy; ``compressed_size`` is what the transmission
+    model charges (framing overhead excluded).
+    """
+
+    __slots__ = ("raw", "compressed_size")
+
+    def __init__(self, raw: bytes, compressed_size: int):
+        self.raw = raw
+        self.compressed_size = compressed_size
+
+
+class WireEncoder:
+    """Serialize+compress payloads once per object, not once per recipient.
+
+    Encoding is memoized on *payload identity*: a fan-out loop that sends
+    the same envelope object to N peers pays one ``pickle.dumps`` and one
+    compression instead of N.  Each cache entry keeps a strong reference
+    to its payload so an ``id()`` can never be reused while the entry is
+    live; the ``is`` check on lookup makes a stale hit impossible.
+
+    The cache assumes payloads are not mutated between sends — true for
+    every protocol message in this library (frozen dataclasses, tuples,
+    bytes).  Encoded bytes are deterministic, so a hit returns exactly
+    what re-encoding would; wire sizes are bit-identical either way.
+    """
+
+    def __init__(
+        self,
+        codec: "Codec",
+        capacity: int | None = None,
+        tracer: "Tracer | None" = None,
+    ):
+        self.codec = codec
+        self.capacity = WIRE_CACHE_CAPACITY if capacity is None else capacity
+        self.tracer = tracer
+        self.hits = 0
+        self.misses = 0
+        #: id(payload) -> (payload, encoded); ordered for LRU eviction
+        self._cache: OrderedDict[int, tuple[Any, EncodedPayload]] = OrderedDict()
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        if total == 0:
+            return 0.0
+        return self.hits / total
+
+    def encode(self, payload: Any) -> EncodedPayload:
+        """Wire form of ``payload``, memoized per object identity."""
+        key = id(payload)
+        entry = self._cache.get(key)
+        if entry is not None and entry[0] is payload:
+            self.hits += 1
+            self._cache.move_to_end(key)
+            if self.tracer is not None:
+                self.tracer.bump("net", "encode-hit")
+            return entry[1]
+        self.misses += 1
+        if self.tracer is not None:
+            self.tracer.bump("net", "encode-miss")
+        raw = serialize(payload)
+        encoded = EncodedPayload(raw, len(self.codec.compress(raw)))
+        if self.capacity > 0:
+            self._cache[key] = (payload, encoded)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self.capacity:
+                self._cache.popitem(last=False)
+        return encoded
+
+    def clear(self) -> None:
+        """Drop all cached encodings (counters are kept)."""
+        self._cache.clear()

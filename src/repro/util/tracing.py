@@ -42,6 +42,9 @@ class Tracer:
     events: list[TraceEvent] = field(default_factory=list)
     #: optional live callback invoked for every recorded event
     sink: Callable[[TraceEvent], None] | None = None
+    #: running counters for very hot events (e.g. wire-encoder cache hits)
+    #: that would swamp ``events`` if recorded individually
+    counters: dict[tuple[str, str], int] = field(default_factory=dict)
 
     def record(self, time: float, category: str, label: str, **fields: Any) -> None:
         """Record one event (no-op if disabled or filtered out)."""
@@ -67,9 +70,23 @@ class Tracer:
         """Number of matching events."""
         return sum(1 for _ in self.select(category, label))
 
+    def bump(self, category: str, name: str, amount: int = 1) -> None:
+        """Increment a running counter (no-op if disabled or filtered)."""
+        if not self.enabled:
+            return
+        if self.categories is not None and category not in self.categories:
+            return
+        key = (category, name)
+        self.counters[key] = self.counters.get(key, 0) + amount
+
+    def counter(self, category: str, name: str) -> int:
+        """Current value of one running counter (0 when never bumped)."""
+        return self.counters.get((category, name), 0)
+
     def clear(self) -> None:
-        """Drop all recorded events."""
+        """Drop all recorded events and counters."""
         self.events.clear()
+        self.counters.clear()
 
 
 #: Shared "off" tracer for components constructed without one.

@@ -1,0 +1,109 @@
+"""The performance fast paths must never change a result.
+
+Three independent switches can alter how much work the reproduction
+does per figure — the wire encoding cache, StorM's decoded-scan cache,
+and the parallel experiment runner.  Each exists purely to save
+wall-clock; these tests pin down that every observable output (figure
+series, bytes on the wire, packet counts, buffer I/O statistics) is
+bit-identical whichever way the switches are thrown.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import repro.storm.store as store_module
+import repro.util.serialization as serialization_module
+from repro.core.builder import build_network
+from repro.core.config import BestPeerConfig
+from repro.eval.experiment import ExperimentRunner, ParallelExperimentRunner
+from repro.eval.figures import FigureParams, figure_5a, figure_8a
+from repro.topology.builders import line, star
+
+#: Small enough to run every variant in seconds, big enough to exercise
+#: flooding, reconfiguration, StorM scans and multi-page heaps.
+TINY = FigureParams(objects_per_node=20, object_size=256, queries=2)
+
+
+def _run_figures():
+    fig5 = figure_5a(TINY, sizes=(1, 2, 4))
+    fig8 = figure_8a(TINY, node_count=8, max_peers=4, holder_count=2)
+    return fig5.series, fig8.series
+
+
+@pytest.fixture
+def fastpath_results():
+    """Figure series with every fast path at its default (enabled)."""
+    return _run_figures()
+
+
+def test_series_identical_with_caches_disabled(monkeypatch, fastpath_results):
+    monkeypatch.setattr(serialization_module, "WIRE_CACHE_CAPACITY", 0)
+    monkeypatch.setattr(store_module, "SCAN_CACHE_DEFAULT", False)
+    assert _run_figures() == fastpath_results
+
+
+def test_series_identical_under_parallel_runner(fastpath_results):
+    parallel = ParallelExperimentRunner(jobs=2)
+    fig5 = figure_5a(TINY, sizes=(1, 2, 4), runner=parallel)
+    fig8 = figure_8a(TINY, node_count=8, max_peers=4, holder_count=2, runner=parallel)
+    assert (fig5.series, fig8.series) == fastpath_results
+
+
+def test_series_identical_under_serial_runner(fastpath_results):
+    serial = ExperimentRunner()
+    fig5 = figure_5a(TINY, sizes=(1, 2, 4), runner=serial)
+    fig8 = figure_8a(TINY, node_count=8, max_peers=4, holder_count=2, runner=serial)
+    assert (fig5.series, fig8.series) == fastpath_results
+
+
+def _drive_deployment() -> tuple[list[int], int, int, int]:
+    """One deterministic BestPeer workload; returns wire-level observables."""
+    deployment = build_network(
+        5,
+        config=BestPeerConfig(max_direct_peers=3, strategy="maxcount"),
+        topology=line(5),
+    )
+    deployment.nodes[3].share(["needle"], b"payload-at-node-3")
+    deployment.nodes[4].share(["needle"], b"payload-at-node-4")
+    sizes = []
+    for _ in range(2):
+        handle = deployment.base.issue_query("needle")
+        deployment.sim.run()
+        deployment.base.finish_query(handle)
+    network = deployment.network
+    for host in network.hosts.values():
+        sizes.append(host.bytes_sent)
+    return (
+        sizes,
+        network.bytes_carried,
+        network.packets_delivered,
+        network.packets_dropped,
+    )
+
+
+def test_wire_bytes_identical_cache_on_vs_off(monkeypatch):
+    with_cache = _drive_deployment()
+    monkeypatch.setattr(serialization_module, "WIRE_CACHE_CAPACITY", 0)
+    without_cache = _drive_deployment()
+    assert with_cache == without_cache
+
+
+def test_encoder_cache_actually_hits_during_flood():
+    # A star base floods one envelope object to every peer.  The first
+    # query ships per-peer class source (distinct envelopes); once the
+    # peers cache the agent class, the second query's fan-out reuses a
+    # single envelope and must hit the encoder cache.
+    deployment = build_network(
+        6,
+        config=BestPeerConfig(max_direct_peers=8, strategy="static"),
+        topology=star(6),
+    )
+    deployment.nodes[3].share(["needle"], b"on a leaf")
+    for _ in range(2):
+        handle = deployment.base.issue_query("needle")
+        deployment.sim.run()
+        deployment.base.finish_query(handle)
+    network = deployment.network
+    assert network.encode_misses > 0
+    assert network.encode_hits > 0  # fan-out re-used at least one encoding

@@ -1,0 +1,57 @@
+"""O(1) pending-event accounting across schedule / cancel / peek / run."""
+
+from __future__ import annotations
+
+from repro.sim.kernel import Simulator
+
+
+def _noop():
+    pass
+
+
+def test_pending_events_tracks_cancellation_without_heap_scans():
+    sim = Simulator()
+    timers = [sim.schedule(float(n), _noop) for n in range(10)]
+    assert sim.pending_events == 10
+    for timer in timers[:4]:
+        timer.cancel()
+    assert sim.pending_events == 6
+    # Idempotent: a second cancel must not double-count.
+    timers[0].cancel()
+    assert sim.pending_events == 6
+
+
+def test_peek_skips_cancelled_without_corrupting_counts():
+    sim = Simulator()
+    first = sim.schedule(1.0, _noop)
+    sim.schedule(2.0, _noop)
+    first.cancel()
+    assert sim.peek() == 2.0  # pops the cancelled head entry
+    assert sim.pending_events == 1
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.now == 2.0
+
+
+def test_run_stops_when_remaining_regular_timers_are_all_cancelled():
+    sim = Simulator()
+
+    def reschedule_daemon():
+        sim.schedule_daemon(1.0, reschedule_daemon)
+
+    sim.schedule_daemon(1.0, reschedule_daemon)
+    late = sim.schedule(100.0, _noop)
+    sim.schedule(1.5, late.cancel)
+    # After t=1.5 only daemons (and the cancelled timer's heap entry)
+    # remain; the run must quiesce instead of spinning daemons forever.
+    assert sim.run() <= 2.0
+
+
+def test_fired_and_cancelled_timers_drain_to_zero():
+    sim = Simulator()
+    keep = [sim.schedule(float(n), _noop) for n in range(6)]
+    keep[2].cancel()
+    keep[4].cancel()
+    sim.run()
+    assert sim.pending_events == 0
+    assert sim.peek() is None

@@ -1,0 +1,75 @@
+"""StorM's decoded-scan cache: faster, never different."""
+
+from __future__ import annotations
+
+import repro.storm.store as store_module
+from repro.storm.store import StorM
+
+
+def _loaded_store(**kwargs) -> StorM:
+    storm = StorM(pool_size=16, **kwargs)
+    for n in range(30):
+        storm.put([f"kw{n % 3}"], bytes([n]) * 50)
+    return storm
+
+
+def test_repeated_scans_hit_the_cache():
+    storm = _loaded_store()
+    first = list(storm.scan())
+    misses_after_first = storm.scan_cache_misses
+    second = list(storm.scan())
+    assert second == first
+    assert storm.scan_cache_misses == misses_after_first
+    assert storm.scan_cache_hits > 0
+
+
+def test_insert_and_delete_invalidate_only_touched_pages():
+    storm = _loaded_store()
+    list(storm.scan())
+    rid = storm.put(["fresh"], b"x" * 50)
+    results = dict(storm.scan())
+    assert results[rid].keywords == ("fresh",)
+    storm.delete(rid)
+    assert rid not in dict(storm.scan())
+
+
+def test_search_results_identical_with_cache_off():
+    cached = _loaded_store()
+    uncached = _loaded_store(scan_cache=False)
+    for _ in range(3):
+        left = cached.search_scan("kw1")
+        right = uncached.search_scan("kw1")
+        assert left.matches == right.matches
+        assert left.objects_examined == right.objects_examined
+        # The cache skips decode work only — simulated I/O must agree.
+        assert (left.io.logical_reads, left.io.physical_reads) == (
+            right.io.logical_reads,
+            right.io.physical_reads,
+        )
+    assert uncached.scan_cache_hits == 0
+    assert cached.scan_cache_hits > 0
+
+
+def test_buffer_stats_identical_with_cache_off():
+    cached = _loaded_store()
+    uncached = _loaded_store(scan_cache=False)
+    for _ in range(3):
+        list(cached.scan())
+        list(uncached.scan())
+    assert (
+        cached.stats.logical_reads,
+        cached.stats.physical_reads,
+        cached.stats.physical_writes,
+    ) == (
+        uncached.stats.logical_reads,
+        uncached.stats.physical_reads,
+        uncached.stats.physical_writes,
+    )
+
+
+def test_module_default_flag(monkeypatch):
+    monkeypatch.setattr(store_module, "SCAN_CACHE_DEFAULT", False)
+    storm = _loaded_store()
+    list(storm.scan())
+    list(storm.scan())
+    assert storm.scan_cache_hits == 0
