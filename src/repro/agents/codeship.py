@@ -14,6 +14,26 @@ The exec namespace provides ``Agent`` (every shipped class subclasses
 it); anything else an agent needs must be imported inside its methods so
 the source stays self-contained.
 
+Two process-wide caches keep the execute path O(1) after first use —
+pure wall-clock optimisations that change nothing observable (per-host
+``installs`` counters, charged install costs and wire bytes are
+identical with the caches off; ``tests/agents/test_codeship_cache.py``
+and ``tests/eval/test_fastpath_determinism.py`` assert exactly that):
+
+* a **source cache** keyed by class identity, so
+  :func:`extract_source` pays :func:`inspect.getsource` (a file scan
+  plus a re-parse) at most once per class per process;
+* a **compile cache** keyed by ``(class_name, sha256(source))``, so
+  :meth:`AgentCodeRegistry.install` compiles and ``exec``-utes each
+  shipped source once per process; later installs on other registries
+  rebind the already-built class object.  Locally *defined* classes
+  never enter the compile cache — a shipped source must always produce
+  a class distinct from the sender's original.
+
+Set ``REPRO_NO_AGENT_CACHE=1`` to bypass both caches (the determinism
+regression tests run every figure that way); the variable is consulted
+per call, so parallel-runner worker processes honour it too.
+
 Trust model: agents are arbitrary code run on behalf of remote peers —
 exactly what the paper proposes.  This reproduction runs everything in
 one process and makes no sandboxing claims; do not feed it hostile
@@ -22,11 +42,63 @@ sources.
 
 from __future__ import annotations
 
+import hashlib
 import inspect
+import os
 import textwrap
+import weakref
 
 from repro.agents.agent import Agent
 from repro.errors import CodeShippingError
+
+#: Environment variable that disables both agent-path caches when set to
+#: any non-empty value.  Checked on every call (an ``os.environ`` lookup
+#: is two orders of magnitude cheaper than the work the caches avoid).
+NO_CACHE_ENV_VAR = "REPRO_NO_AGENT_CACHE"
+
+#: Module-level master switch, AND-ed with the environment variable.
+AGENT_CACHE_ENABLED = True
+
+#: class object -> dedented source.  Weak keys: exec'd classes from
+#: short-lived registries must not be pinned by the cache.
+_source_cache: "weakref.WeakKeyDictionary[type, str]" = weakref.WeakKeyDictionary()
+
+#: (class_name, sha256 hex of source) -> the exec'd class object.
+_compile_cache: dict[tuple[str, str], type] = {}
+
+#: Process-wide cache effectiveness counters (see :func:`cache_stats`).
+source_cache_hits = 0
+source_cache_misses = 0
+compile_cache_hits = 0
+compile_cache_misses = 0
+
+
+def agent_cache_enabled() -> bool:
+    """True when the source/compile caches are active."""
+    return AGENT_CACHE_ENABLED and not os.environ.get(NO_CACHE_ENV_VAR)
+
+
+def cache_stats() -> dict[str, int]:
+    """Process-wide agent-path cache counters (for reports and benches)."""
+    return {
+        "source_cache_hits": source_cache_hits,
+        "source_cache_misses": source_cache_misses,
+        "compile_cache_hits": compile_cache_hits,
+        "compile_cache_misses": compile_cache_misses,
+        "compile_cache_size": len(_compile_cache),
+    }
+
+
+def clear_caches() -> None:
+    """Drop both process-wide caches and reset their counters."""
+    global source_cache_hits, source_cache_misses
+    global compile_cache_hits, compile_cache_misses
+    _source_cache.clear()
+    _compile_cache.clear()
+    source_cache_hits = 0
+    source_cache_misses = 0
+    compile_cache_hits = 0
+    compile_cache_misses = 0
 
 
 def extract_source(agent_class: type) -> str:
@@ -36,19 +108,54 @@ def extract_source(agent_class: type) -> str:
     ``linecache`` entries pytest and exec'd registries leave behind)
     classes that themselves arrived by code shipping.
     """
+    global source_cache_hits, source_cache_misses
     if not (isinstance(agent_class, type) and issubclass(agent_class, Agent)):
-        raise CodeShippingError(f"{agent_class!r} is not an Agent subclass")
+        raise CodeShippingError(
+            f"{agent_class!r} is not an Agent subclass",
+            class_name=getattr(agent_class, "__name__", None),
+        )
     # A class we installed ourselves remembers its shipped source.
     shipped = getattr(agent_class, "__shipped_source__", None)
     if shipped is not None:
         return shipped
+    caching = agent_cache_enabled()
+    if caching:
+        cached = _source_cache.get(agent_class)
+        if cached is not None:
+            source_cache_hits += 1
+            return cached
+    source_cache_misses += 1
     try:
         source = inspect.getsource(agent_class)
     except (OSError, TypeError) as exc:
         raise CodeShippingError(
-            f"cannot extract source of {agent_class.__name__}: {exc}"
+            f"cannot extract source of {agent_class.__name__}: {exc}",
+            class_name=agent_class.__name__,
         ) from exc
-    return textwrap.dedent(source)
+    source = textwrap.dedent(source)
+    if caching:
+        _source_cache[agent_class] = source
+    return source
+
+
+def _compile_install(class_name: str, source: str) -> type:
+    """Execute shipped source and return the Agent subclass it defines."""
+    namespace: dict[str, object] = {"Agent": Agent}
+    try:
+        exec(compile(source, f"<agent:{class_name}>", "exec"), namespace)
+    except SyntaxError as exc:
+        raise CodeShippingError(
+            f"shipped source for {class_name!r} does not compile: {exc}",
+            class_name=class_name,
+        ) from exc
+    installed = namespace.get(class_name)
+    if not (isinstance(installed, type) and issubclass(installed, Agent)):
+        raise CodeShippingError(
+            f"shipped source does not define Agent subclass {class_name!r}",
+            class_name=class_name,
+        )
+    installed.__shipped_source__ = source  # re-shippable from here
+    return installed
 
 
 class AgentCodeRegistry:
@@ -69,14 +176,18 @@ class AgentCodeRegistry:
         try:
             return self._classes[class_name]
         except KeyError:
-            raise CodeShippingError(f"class {class_name!r} is not installed") from None
+            raise CodeShippingError(
+                f"class {class_name!r} is not installed", class_name=class_name
+            ) from None
 
     def source_of(self, class_name: str) -> str:
         """The source an installed class was installed from."""
         try:
             return self._sources[class_name]
         except KeyError:
-            raise CodeShippingError(f"class {class_name!r} is not installed") from None
+            raise CodeShippingError(
+                f"class {class_name!r} is not installed", class_name=class_name
+            ) from None
 
     def register_local(self, agent_class: type) -> str:
         """Register a locally-defined class (the originating host's path).
@@ -90,22 +201,29 @@ class AgentCodeRegistry:
         return name
 
     def install(self, class_name: str, source: str) -> type:
-        """Install a shipped class by executing its source (idempotent)."""
+        """Install a shipped class by executing its source (idempotent).
+
+        With the process-wide compile cache on, identical source for the
+        same class name compiles once per process; this registry only
+        rebinds the cached class object.  The ``installs`` counter and
+        the simulated install cost charged by the engine are identical
+        either way — only the real compile/exec wall-clock is saved.
+        """
+        global compile_cache_hits, compile_cache_misses
         if class_name in self._classes:
             return self._classes[class_name]
-        namespace: dict[str, object] = {"Agent": Agent}
-        try:
-            exec(compile(source, f"<agent:{class_name}>", "exec"), namespace)
-        except SyntaxError as exc:
-            raise CodeShippingError(
-                f"shipped source for {class_name!r} does not compile: {exc}"
-            ) from exc
-        installed = namespace.get(class_name)
-        if not (isinstance(installed, type) and issubclass(installed, Agent)):
-            raise CodeShippingError(
-                f"shipped source does not define Agent subclass {class_name!r}"
-            )
-        installed.__shipped_source__ = source  # re-shippable from here
+        installed: type | None = None
+        key: tuple[str, str] | None = None
+        if agent_cache_enabled():
+            key = (class_name, hashlib.sha256(source.encode()).hexdigest())
+            installed = _compile_cache.get(key)
+        if installed is not None:
+            compile_cache_hits += 1
+        else:
+            compile_cache_misses += 1
+            installed = _compile_install(class_name, source)
+            if key is not None:
+                _compile_cache[key] = installed
         self._classes[class_name] = installed
         self._sources[class_name] = source
         self.installs += 1

@@ -33,7 +33,8 @@ from repro.agents.envelope import (
     AgentEnvelope,
 )
 from repro.agents.messages import AnswerItem, AnswerMessage
-from repro.errors import AgentError
+from repro.agents.profile import AgentPathProfiler
+from repro.errors import AgentError, CodeShippingError
 from repro.ids import BPID, AgentId, QueryId, SerialCounter
 from repro.net.address import IPAddress
 from repro.net.message import Packet
@@ -168,6 +169,8 @@ class AgentEngine:
         self.registry = registry if registry is not None else AgentCodeRegistry()
         self.get_peers = get_peers if get_peers is not None else (lambda: [])
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: real (not simulated) time spent on this node's agent path
+        self.profiler = AgentPathProfiler(node=host.name, tracer=self.tracer)
         #: called with (agent_id, state) when an itinerary agent comes home
         self.on_agent_home: Callable[[AgentEnvelope, dict], None] | None = None
         self._serials = SerialCounter()
@@ -211,7 +214,23 @@ class AgentEngine:
             raise AgentError("itinerary mode needs a non-empty path")
         if self.host.address is None:
             raise AgentError("cannot dispatch from an offline host")
-        class_name = self.registry.register_local(type(agent))
+        try:
+            with self.profiler.timed("extract"):
+                class_name = self.registry.register_local(type(agent))
+        except CodeShippingError as exc:
+            # Keep the originating class visible: a parked receiver's
+            # later class-request can only name the class, so the error
+            # must carry the name rather than lose it here.
+            if exc.class_name is None:
+                exc.class_name = type(agent).__name__
+            self.tracer.record(
+                self.host.sim.now,
+                "agent",
+                "ship-error",
+                klass=type(agent).__name__,
+                error=str(exc),
+            )
+            raise
         agent_id = AgentId(self.local_bpid, self._serials.next())
         self._seen.add(agent_id)  # a clone routed back here is a duplicate
         envelope = AgentEnvelope(
@@ -238,8 +257,8 @@ class AgentEngine:
         first_hop = envelope.hop(None)
         if mode == MODE_FLOOD:
             recipients = targets if targets is not None else self.get_peers()
-            for peer in recipients:
-                self._ship(first_hop, peer)
+            with self.profiler.timed("clone"):
+                self._ship_many(first_hop, recipients)
         else:
             self._ship(first_hop, path[0])
         return agent_id
@@ -256,6 +275,32 @@ class AgentEngine:
             self._shipped.add(key)
         self.host.send(dst, PROTO_AGENT, outgoing)
 
+    def _ship_many(
+        self, envelope: AgentEnvelope, recipients: Sequence[IPAddress]
+    ) -> None:
+        """Fan one envelope out, building each wire form at most once.
+
+        All already-contacted destinations share the stripped
+        (source-less) envelope *object* and all first contacts share the
+        source-carrying one, so the network's wire encoder serializes
+        each form once per fan-out instead of once per recipient.  The
+        per-destination source decision and send order are exactly what
+        per-recipient :meth:`_ship` calls would produce.
+        """
+        stripped = envelope.with_source(None)
+        sourced: AgentEnvelope | None = None
+        for dst in recipients:
+            key = (dst, envelope.class_name)
+            if key in self._shipped:
+                self.host.send(dst, PROTO_AGENT, stripped)
+            else:
+                if sourced is None:
+                    sourced = envelope.with_source(
+                        self.registry.source_of(envelope.class_name)
+                    )
+                self._shipped.add(key)
+                self.host.send(dst, PROTO_AGENT, sourced)
+
     # -- receiving ------------------------------------------------------------------
 
     def _on_agent(self, packet: Packet) -> None:
@@ -270,7 +315,8 @@ class AgentEngine:
             self._seen.add(envelope.agent_id)
         if envelope.source is not None:
             newly = not self.registry.has(envelope.class_name)
-            self.registry.install(envelope.class_name, envelope.source)
+            with self.profiler.timed("install"):
+                self.registry.install(envelope.class_name, envelope.source)
             self._run(envelope, packet.src, install_charged=newly)
         elif self.registry.has(envelope.class_name):
             self._run(envelope, packet.src, install_charged=False)
@@ -302,7 +348,8 @@ class AgentEngine:
     def _on_class_response(self, packet: Packet) -> None:
         class_name, source = packet.payload
         newly = not self.registry.has(class_name)
-        self.registry.install(class_name, source)
+        with self.profiler.timed("install"):
+            self.registry.install(class_name, source)
         parked = self._parked.pop(class_name, [])
         for index, envelope in enumerate(parked):
             # The install cost is paid once, by the first parked envelope.
@@ -316,14 +363,22 @@ class AgentEngine:
         # Forward clones before local execution: flooding must not wait
         # for this host's CPU-heavy search.
         if envelope.mode == MODE_FLOOD and not envelope.expired:
-            next_hop = envelope.hop(None)
-            for peer in self.get_peers():
-                if peer != arrived_from and peer != envelope.initiator_address:
-                    self._ship(next_hop, peer)
+            with self.profiler.timed("clone"):
+                next_hop = envelope.hop(None)
+                self._ship_many(
+                    next_hop,
+                    [
+                        peer
+                        for peer in self.get_peers()
+                        if peer != arrived_from
+                        and peer != envelope.initiator_address
+                    ],
+                )
         agent_class = self.registry.get(envelope.class_name)
-        agent = agent_class.from_state(envelope.state)
         context = AgentContext(self, envelope)
-        agent.execute(context)
+        with self.profiler.timed("execute"):
+            agent = agent_class.from_state(envelope.state)
+            agent.execute(context)
         self.agents_executed += 1
         service_time = (
             self.costs.execute_overhead

@@ -1,0 +1,103 @@
+"""Per-node wall-clock profiling of the agent execute path.
+
+The simulator already accounts for *simulated* agent costs
+(:class:`~repro.agents.costs.AgentCosts`); this module measures the
+*real* time the reproduction spends running that machinery — source
+extraction, class install, agent execution, clone fan-out — so the
+agent-path caches' effect shows up as evidence in ``BENCH_*.json``
+files, the same way PR 1's wire counters did for the encoding cache.
+
+Every :class:`~repro.agents.engine.AgentEngine` owns one
+:class:`AgentPathProfiler` tagged with its host's name (per-node view);
+the profiler also mirrors totals into the engine's shared
+:class:`~repro.util.tracing.Tracer` as ``agent-path`` counters and
+timers (network-wide view), which
+:func:`repro.eval.report.agent_path_stats` renders alongside
+``network_stats``.  Profiling costs one clock read pair per operation
+and never touches simulated quantities.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.util.tracing import Tracer
+
+#: Tracer category under which profiler totals are mirrored.
+PROFILE_CATEGORY = "agent-path"
+
+#: The profiled operations, in execute-path order.
+#: ``extract`` — source extraction at dispatch; ``install`` — compiling
+#: or rebinding a shipped class; ``execute`` — reconstructing the agent
+#: from state and running it; ``clone`` — one clone-and-forward fan-out
+#: (dispatch or relay), however many peers it reaches.
+PROFILE_OPS = ("extract", "install", "execute", "clone")
+
+
+@dataclass
+class OpStats:
+    """Running count and wall-clock total for one profiled operation."""
+
+    count: int = 0
+    seconds: float = 0.0
+
+
+class AgentPathProfiler:
+    """Counts and times the hot operations of one engine's agent path."""
+
+    def __init__(
+        self,
+        node: str = "",
+        tracer: "Tracer | None" = None,
+        clock: Callable[[], float] = time.perf_counter,
+    ):
+        self.node = node
+        self.tracer = tracer
+        self.clock = clock
+        self._ops: dict[str, OpStats] = {}
+
+    @contextmanager
+    def timed(self, op: str) -> Iterator[None]:
+        """Time one operation; records even when the body raises."""
+        start = self.clock()
+        try:
+            yield
+        finally:
+            self.add(op, self.clock() - start)
+
+    def add(self, op: str, seconds: float) -> None:
+        """Record one occurrence of ``op`` taking ``seconds`` wall-clock."""
+        stats = self._ops.setdefault(op, OpStats())
+        stats.count += 1
+        stats.seconds += seconds
+        if self.tracer is not None:
+            self.tracer.bump(PROFILE_CATEGORY, op)
+            self.tracer.add_time(PROFILE_CATEGORY, op, seconds)
+
+    def count(self, op: str) -> int:
+        """How many times ``op`` ran at this node."""
+        stats = self._ops.get(op)
+        return stats.count if stats is not None else 0
+
+    def seconds(self, op: str) -> float:
+        """Total wall-clock seconds ``op`` consumed at this node."""
+        stats = self._ops.get(op)
+        return stats.seconds if stats is not None else 0.0
+
+    def snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-op ``{"count": ..., "seconds": ...}`` for this node."""
+        return {
+            op: {"count": stats.count, "seconds": stats.seconds}
+            for op, stats in sorted(self._ops.items())
+        }
+
+    def __repr__(self) -> str:
+        ops = ", ".join(
+            f"{op}={stats.count}/{stats.seconds:.6f}s"
+            for op, stats in sorted(self._ops.items())
+        )
+        return f"AgentPathProfiler({self.node!r}, {ops})"

@@ -93,7 +93,17 @@ class AgentError(ReproError):
 
 
 class CodeShippingError(AgentError):
-    """Agent class source could not be extracted, shipped, or loaded."""
+    """Agent class source could not be extracted, shipped, or loaded.
+
+    Carries the originating agent class name (when known) so engine-level
+    handlers — notably the park-and-request path, where the failing class
+    is identified only by name — can report *which* class failed without
+    parsing the message text.
+    """
+
+    def __init__(self, message: str, class_name: str | None = None):
+        super().__init__(message)
+        self.class_name = class_name
 
 
 class AgentExpiredError(AgentError):

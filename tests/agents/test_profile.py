@@ -1,0 +1,84 @@
+"""Tests for the agent execute-path profiler."""
+
+import pytest
+
+from repro.agents.profile import PROFILE_CATEGORY, PROFILE_OPS, AgentPathProfiler
+from repro.agents.storm_agent import StorMSearchAgent
+from repro.util.tracing import Tracer
+
+from tests.agents.helpers import AgentRig
+
+
+class FakeClock:
+    """Deterministic clock: each read advances by ``step`` seconds."""
+
+    def __init__(self, step=1.0):
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self):
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestAgentPathProfiler:
+    def test_timed_counts_and_times(self):
+        profiler = AgentPathProfiler(node="n1", clock=FakeClock())
+        with profiler.timed("extract"):
+            pass
+        with profiler.timed("extract"):
+            pass
+        assert profiler.count("extract") == 2
+        assert profiler.seconds("extract") == pytest.approx(2.0)
+        assert profiler.count("install") == 0
+        assert profiler.seconds("install") == 0.0
+
+    def test_timed_records_even_on_raise(self):
+        profiler = AgentPathProfiler(clock=FakeClock())
+        with pytest.raises(RuntimeError):
+            with profiler.timed("execute"):
+                raise RuntimeError("agent blew up")
+        assert profiler.count("execute") == 1
+
+    def test_mirrors_into_tracer(self):
+        tracer = Tracer()
+        profiler = AgentPathProfiler(node="n1", tracer=tracer, clock=FakeClock())
+        with profiler.timed("install"):
+            pass
+        assert tracer.counter(PROFILE_CATEGORY, "install") == 1
+        assert tracer.timer(PROFILE_CATEGORY, "install") == pytest.approx(1.0)
+
+    def test_snapshot_and_repr(self):
+        profiler = AgentPathProfiler(node="n1", clock=FakeClock())
+        profiler.add("clone", 0.5)
+        profiler.add("clone", 0.25)
+        snap = profiler.snapshot()
+        assert snap == {"clone": {"count": 2, "seconds": 0.75}}
+        assert "clone=2" in repr(profiler)
+
+    def test_ops_constant_covers_the_execute_path(self):
+        assert PROFILE_OPS == ("extract", "install", "execute", "clone")
+
+
+class TestEngineWiring:
+    def test_flood_populates_every_op(self):
+        rig = AgentRig()
+        a, b, c = rig.line("a", "b", "c")
+        b.put_objects("k", 1)
+        c.put_objects("k", 1)
+        a.engine.dispatch(StorMSearchAgent("k"))
+        rig.sim.run()
+        # Initiator: one extraction, one dispatch fan-out, no execution.
+        assert a.engine.profiler.count("extract") == 1
+        assert a.engine.profiler.count("clone") == 1
+        assert a.engine.profiler.count("execute") == 0
+        # Relays: one install, one execution, one forward fan-out each.
+        for node in (b, c):
+            assert node.engine.profiler.count("install") == 1
+            assert node.engine.profiler.count("execute") == 1
+            assert node.engine.profiler.count("clone") == 1
+        # The shared tracer aggregates the per-node profiles.
+        assert rig.tracer.counter(PROFILE_CATEGORY, "execute") == 2
+        assert rig.tracer.counter(PROFILE_CATEGORY, "install") == 2
+        assert rig.tracer.timer(PROFILE_CATEGORY, "execute") >= 0.0

@@ -1,11 +1,12 @@
 """The performance fast paths must never change a result.
 
-Three independent switches can alter how much work the reproduction
+Four independent switches can alter how much work the reproduction
 does per figure — the wire encoding cache, StorM's decoded-scan cache,
-and the parallel experiment runner.  Each exists purely to save
-wall-clock; these tests pin down that every observable output (figure
-series, bytes on the wire, packet counts, buffer I/O statistics) is
-bit-identical whichever way the switches are thrown.
+the agent-path source/compile caches (``REPRO_NO_AGENT_CACHE=1``), and
+the parallel experiment runner.  Each exists purely to save wall-clock;
+these tests pin down that every observable output (figure series, bytes
+on the wire, packet counts, answer hop counts, buffer I/O statistics)
+is bit-identical whichever way the switches are thrown.
 """
 
 from __future__ import annotations
@@ -14,6 +15,7 @@ import pytest
 
 import repro.storm.store as store_module
 import repro.util.serialization as serialization_module
+from repro.agents import codeship
 from repro.core.builder import build_network
 from repro.core.config import BestPeerConfig
 from repro.eval.experiment import ExperimentRunner, ParallelExperimentRunner
@@ -43,6 +45,25 @@ def test_series_identical_with_caches_disabled(monkeypatch, fastpath_results):
     assert _run_figures() == fastpath_results
 
 
+def test_series_identical_with_agent_caches_disabled(monkeypatch, fastpath_results):
+    monkeypatch.setenv(codeship.NO_CACHE_ENV_VAR, "1")
+    codeship.clear_caches()
+    assert _run_figures() == fastpath_results
+
+
+def test_series_identical_with_agent_caches_disabled_parallel(
+    monkeypatch, fastpath_results
+):
+    # Worker processes inherit the environment, so the bypass holds
+    # under the multiprocessing runner too.
+    monkeypatch.setenv(codeship.NO_CACHE_ENV_VAR, "1")
+    codeship.clear_caches()
+    parallel = ParallelExperimentRunner(jobs=2)
+    fig5 = figure_5a(TINY, sizes=(1, 2, 4), runner=parallel)
+    fig8 = figure_8a(TINY, node_count=8, max_peers=4, holder_count=2, runner=parallel)
+    assert (fig5.series, fig8.series) == fastpath_results
+
+
 def test_series_identical_under_parallel_runner(fastpath_results):
     parallel = ParallelExperimentRunner(jobs=2)
     fig5 = figure_5a(TINY, sizes=(1, 2, 4), runner=parallel)
@@ -57,8 +78,9 @@ def test_series_identical_under_serial_runner(fastpath_results):
     assert (fig5.series, fig8.series) == fastpath_results
 
 
-def _drive_deployment() -> tuple[list[int], int, int, int]:
-    """One deterministic BestPeer workload; returns wire-level observables."""
+def _drive_deployment() -> tuple[list[int], list[tuple], int, int, int]:
+    """One deterministic BestPeer workload; returns wire-level observables
+    plus per-answer hop counts."""
     deployment = build_network(
         5,
         config=BestPeerConfig(max_direct_peers=3, strategy="maxcount"),
@@ -67,15 +89,23 @@ def _drive_deployment() -> tuple[list[int], int, int, int]:
     deployment.nodes[3].share(["needle"], b"payload-at-node-3")
     deployment.nodes[4].share(["needle"], b"payload-at-node-4")
     sizes = []
+    answer_hops = []
     for _ in range(2):
         handle = deployment.base.issue_query("needle")
         deployment.sim.run()
+        answer_hops.extend(
+            sorted(
+                (str(ans.responder), ans.hops, ans.answer_count)
+                for ans in handle.answers
+            )
+        )
         deployment.base.finish_query(handle)
     network = deployment.network
     for host in network.hosts.values():
         sizes.append(host.bytes_sent)
     return (
         sizes,
+        answer_hops,
         network.bytes_carried,
         network.packets_delivered,
         network.packets_dropped,
@@ -85,6 +115,15 @@ def _drive_deployment() -> tuple[list[int], int, int, int]:
 def test_wire_bytes_identical_cache_on_vs_off(monkeypatch):
     with_cache = _drive_deployment()
     monkeypatch.setattr(serialization_module, "WIRE_CACHE_CAPACITY", 0)
+    without_cache = _drive_deployment()
+    assert with_cache == without_cache
+
+
+def test_wire_bytes_and_hops_identical_agent_cache_on_vs_off(monkeypatch):
+    codeship.clear_caches()
+    with_cache = _drive_deployment()
+    monkeypatch.setenv(codeship.NO_CACHE_ENV_VAR, "1")
+    codeship.clear_caches()
     without_cache = _drive_deployment()
     assert with_cache == without_cache
 
