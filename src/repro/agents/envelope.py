@@ -72,3 +72,44 @@ class AgentEnvelope:
     def advance_path(self) -> "AgentEnvelope":
         """Pop the next itinerary stop."""
         return replace(self, path=self.path[1:])
+
+
+# -- compact wire registration (type id block 0x03xx) --------------------------
+#
+# Only state-only hops (``source is None``) take the compact path: a
+# shipped class source is a large, highly compressible text blob that
+# genuinely benefits from the gzip'd pickle fallback.
+
+from repro.net import codec as wire
+
+wire.register(
+    AgentEnvelope,
+    0x0301,
+    (
+        ("agent_id", wire.AGENT_ID_CODEC),
+        ("class_name", wire.STR),
+        ("source", wire.opt(wire.STR)),
+        ("state", wire.PICKLE_BLOB),
+        ("ttl", wire.I32),
+        ("hops", wire.U32),
+        ("initiator", wire.BPID_CODEC),
+        ("initiator_address", wire.IPADDR_CODEC),
+        ("query_id", wire.opt(wire.QUERY_ID_CODEC)),
+        ("mode", wire.STR),
+        ("path", wire.seq(wire.IPADDR_CODEC)),
+    ),
+    sample=lambda: AgentEnvelope(
+        agent_id=AgentId(BPID("10.0.0.1", 7), 3),
+        class_name="SearchAgent",
+        source=None,
+        state={"keyword": "music", "matches": 2},
+        ttl=5,
+        hops=2,
+        initiator=BPID("10.0.0.1", 7),
+        initiator_address=IPAddress("10.0.4.2"),
+        query_id=QueryId(BPID("10.0.0.1", 7), 1),
+        mode=MODE_FLOOD,
+        path=(),
+    ),
+    compactable=lambda envelope: envelope.source is None,
+)

@@ -326,3 +326,24 @@ def build_cs_network(
         ]
         node.set_children(children)
     return CsDeployment(sim, network, nodes)
+
+
+# -- compact wire registrations (type id block 0x05xx) -------------------------
+#
+# CsResults stays on the pickle path: it carries search payloads (data
+# plane), not a fixed-shape control header.
+
+from repro.net import codec as wire
+
+wire.register(
+    CsQuery,
+    0x0501,
+    (("query_id", wire.I64), ("keyword", wire.STR)),
+    sample=lambda: CsQuery(query_id=6, keyword="music"),
+)
+wire.register(
+    CsDone,
+    0x0502,
+    (("query_id", wire.I64),),
+    sample=lambda: CsDone(query_id=6),
+)

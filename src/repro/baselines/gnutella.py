@@ -346,3 +346,53 @@ def build_gnutella_network(
             [servents[neighbor].host.address for neighbor in topology.neighbors(index)]
         )
     return GnutellaDeployment(sim, network, servents)
+
+
+# -- compact wire registrations (type id block 0x04xx) -------------------------
+
+from repro.net import codec as wire
+
+_SAMPLE_GUID = ("node-3", 17)
+
+wire.register(
+    QueryDescriptor,
+    0x0401,
+    (
+        ("guid", wire.GUID_CODEC),
+        ("keyword", wire.STR),
+        ("ttl", wire.I32),
+        ("hops", wire.U32),
+    ),
+    sample=lambda: QueryDescriptor(_SAMPLE_GUID, "music", 5, 2),
+)
+wire.register(
+    QueryHitDescriptor,
+    0x0402,
+    (
+        ("guid", wire.GUID_CODEC),
+        ("responder", wire.STR),
+        ("files", wire.seq(wire.pair(wire.STR, wire.I64))),
+    ),
+    sample=lambda: QueryHitDescriptor(
+        _SAMPLE_GUID, "node-9", (("music-0004", 512), ("music-0011", 512))
+    ),
+)
+wire.register(
+    PingDescriptor,
+    0x0403,
+    (("guid", wire.GUID_CODEC), ("ttl", wire.I32), ("hops", wire.U32)),
+    sample=lambda: PingDescriptor(_SAMPLE_GUID, 5, 2),
+)
+wire.register(
+    PongDescriptor,
+    0x0404,
+    (
+        ("guid", wire.GUID_CODEC),
+        ("responder", wire.STR),
+        ("address", wire.IPADDR_CODEC),
+        ("shared_files", wire.I64),
+    ),
+    sample=lambda: PongDescriptor(
+        _SAMPLE_GUID, "node-9", IPAddress("10.0.5.6"), 120
+    ),
+)

@@ -28,6 +28,7 @@ from repro.agents.agent import Agent
 from repro.core.reconfig import PeerObservation, ReconfigurationStrategy
 from repro.errors import BestPeerError
 from repro.ids import BPID
+from repro.net import codec as wire
 from repro.net.address import IPAddress
 from repro.storm.objects import normalize_keyword
 
@@ -160,3 +161,27 @@ class KnowledgeStrategy(ReconfigurationStrategy):
             ),
         )
         return ranked[:k]
+
+
+# -- compact wire registration (type id block 0x02xx) --------------------------
+
+wire.register(
+    ContentReport,
+    0x0204,
+    (
+        ("responder", wire.BPID_CODEC),
+        ("responder_address", wire.IPADDR_CODEC),
+        ("hops", wire.U32),
+        ("object_count", wire.I64),
+        ("total_bytes", wire.I64),
+        ("keyword_counts", wire.seq(wire.pair(wire.STR, wire.I64))),
+    ),
+    sample=lambda: ContentReport(
+        responder=BPID("10.0.0.1", 7),
+        responder_address=IPAddress("10.0.3.4"),
+        hops=2,
+        object_count=120,
+        total_bytes=61_440,
+        keyword_counts=(("music", 40), ("video", 12)),
+    ),
+)

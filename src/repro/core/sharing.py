@@ -18,6 +18,7 @@ from typing import Callable
 
 from repro.errors import AccessDeniedError, SharingError
 from repro.ids import BPID
+from repro.net import codec as wire
 from repro.storm.heapfile import RecordId
 
 PROTO_FETCH = "bestpeer.fetch"
@@ -111,3 +112,26 @@ class ShareCatalog:
 
     def names(self) -> list[str]:
         return sorted(self._objects)
+
+
+# -- compact wire registrations (type id block 0x02xx) -------------------------
+
+wire.register(
+    FetchRequest,
+    0x0201,
+    (("token", wire.I64), ("rid", wire.RECORD_ID_CODEC)),
+    sample=lambda: FetchRequest(token=9, rid=RecordId(3, 12)),
+)
+wire.register(
+    ActiveRequest,
+    0x0202,
+    (
+        ("token", wire.I64),
+        ("name", wire.STR),
+        ("requester", wire.BPID_CODEC),
+        ("credential", wire.STR),
+    ),
+    sample=lambda: ActiveRequest(
+        token=10, name="prices", requester=BPID("10.0.0.1", 7), credential="gold"
+    ),
+)

@@ -27,6 +27,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.errors import BestPeerError
+from repro.net import codec as wire
 
 CODE = "code"
 DATA = "data"
@@ -161,3 +162,13 @@ def make_shipping_policy(name: str, **kwargs) -> ShippingPolicy:
             f"unknown shipping policy {name!r}; known: {known}"
         ) from None
     return factory(**kwargs)
+
+
+# -- compact wire registration (type id block 0x02xx) --------------------------
+
+wire.register(
+    DataRequest,
+    0x0203,
+    (("token", wire.I64),),
+    sample=lambda: DataRequest(token=11),
+)

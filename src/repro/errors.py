@@ -54,6 +54,30 @@ class DeliveryError(NetworkError):
     """A packet could not be delivered (stale address, offline host)."""
 
 
+class WireCodecError(NetworkError):
+    """Base class for compact wire-codec errors (see :mod:`repro.net.codec`)."""
+
+
+class WireEncodeError(WireCodecError):
+    """A message could not be packed into a compact frame.
+
+    Raised when a value does not fit its field codec (string too long,
+    integer out of range) or the message is not registered/compactable.
+    The wire path treats this as "fall back to pickle", so it never
+    escapes to callers of :meth:`~repro.util.serialization.WireEncoder.encode`.
+    """
+
+
+class WireDecodeError(WireCodecError):
+    """A compact frame is malformed and cannot be decoded.
+
+    Covers truncated, bit-flipped, wrong-version, unknown-type,
+    oversized, and trailing-garbage frames.  Hosts and live transports
+    catch it, drop the packet, and count the drop in tracer stats —
+    a corrupt frame must never crash a delivery loop.
+    """
+
+
 # ---------------------------------------------------------------------------
 # StorM storage manager
 # ---------------------------------------------------------------------------

@@ -6,6 +6,7 @@ from dataclasses import dataclass
 
 from repro.ids import BPID
 from repro.net.address import IPAddress
+from repro.net import codec as wire
 
 PROTO_REGISTER = "liglo.register"
 PROTO_REGISTER_REPLY = "liglo.register.reply"
@@ -78,3 +79,70 @@ class Pong:
 
     token: int
     bpid: BPID
+
+
+# -- compact wire registrations (type id block 0x01xx) -------------------------
+
+_SAMPLE_BPID = BPID("10.0.0.1", 7)
+
+wire.register(
+    RegisterRequest,
+    0x0101,
+    (("token", wire.I64),),
+    sample=lambda: RegisterRequest(token=42),
+)
+wire.register(
+    RegisterReply,
+    0x0102,
+    (
+        ("token", wire.I64),
+        ("accepted", wire.BOOL),
+        ("bpid", wire.opt(wire.BPID_CODEC)),
+        ("peers", wire.seq(wire.pair(wire.BPID_CODEC, wire.IPADDR_CODEC))),
+        ("reason", wire.STR),
+    ),
+    sample=lambda: RegisterReply(
+        token=42,
+        accepted=True,
+        bpid=_SAMPLE_BPID,
+        peers=((BPID("10.0.0.1", 3), IPAddress("10.0.1.9")),),
+    ),
+)
+wire.register(
+    Announce,
+    0x0103,
+    (("bpid", wire.BPID_CODEC),),
+    sample=lambda: Announce(bpid=_SAMPLE_BPID),
+)
+wire.register(
+    ResolveRequest,
+    0x0104,
+    (("token", wire.I64), ("bpid", wire.BPID_CODEC)),
+    sample=lambda: ResolveRequest(token=43, bpid=_SAMPLE_BPID),
+)
+wire.register(
+    ResolveReply,
+    0x0105,
+    (
+        ("token", wire.I64),
+        ("bpid", wire.BPID_CODEC),
+        ("address", wire.opt(wire.IPADDR_CODEC)),
+        ("online", wire.BOOL),
+        ("known", wire.BOOL),
+    ),
+    sample=lambda: ResolveReply(
+        token=43,
+        bpid=_SAMPLE_BPID,
+        address=IPAddress("10.0.2.17"),
+        online=True,
+    ),
+)
+wire.register(
+    Ping, 0x0106, (("token", wire.I64),), sample=lambda: Ping(token=44)
+)
+wire.register(
+    Pong,
+    0x0107,
+    (("token", wire.I64), ("bpid", wire.BPID_CODEC)),
+    sample=lambda: Pong(token=44, bpid=_SAMPLE_BPID),
+)

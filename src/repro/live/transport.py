@@ -2,12 +2,26 @@
 
 One message = one TCP connection carrying one frame::
 
-    u32 length | gzip(pickle((protocol, payload)))
+    u32 length | body
+
+where ``body`` is, for registered control messages under the compact
+codec (the default), a compact live body::
+
+    u8 magic (0xB7) | u16 protocol length | protocol utf8 | compact frame
+
+and for everything else the legacy form ``gzip(pickle((protocol,
+payload)))``.  The leading byte discriminates: 0xB7 never begins a gzip
+stream (0x1f) or a protocol-4 pickle (0x80).  The embedded compact frame
+is byte-identical to the one the simulated network charges for, so sim
+and live stay wire-compatible and one set of golden vectors covers both.
 
 A :class:`LiveEndpoint` owns a listening socket plus an accept thread;
 each accepted connection is served by a short-lived worker thread that
 reads the single frame and dispatches it to the protocol handler.
 Handlers therefore run concurrently — callers guard their own state.
+Malformed bodies raise a typed :class:`~repro.errors.WireDecodeError`
+inside :func:`read_frame`; the serve loop drops the message and counts
+it in :attr:`LiveEndpoint.decode_errors` instead of dying.
 """
 
 from __future__ import annotations
@@ -17,7 +31,15 @@ import struct
 import threading
 from typing import Any, Callable
 
-from repro.errors import NetworkError
+from repro.errors import NetworkError, WireDecodeError
+from repro.net.codec import (
+    CODEC_COMPACT,
+    FRAME_MAGIC,
+    decode_message,
+    load_registrations,
+    try_encode,
+    wire_codec_mode,
+)
 from repro.util.compression import DEFAULT_CODEC, Codec
 from repro.util.serialization import deserialize, serialize
 
@@ -25,15 +47,48 @@ from repro.util.serialization import deserialize, serialize
 LiveAddress = tuple[str, int]
 
 _LEN = struct.Struct("<I")
+_PROTO_LEN = struct.Struct(">H")
+_COMPACT_TAG = bytes([FRAME_MAGIC])
 #: refuse absurd frames rather than allocating unbounded buffers
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 
 def encode_frame(protocol: str, payload: Any, codec: Codec) -> bytes:
-    body = codec.compress(serialize((protocol, payload)))
+    body = _encode_body(protocol, payload, codec)
     if len(body) > MAX_FRAME_BYTES:
         raise NetworkError(f"frame of {len(body)} bytes exceeds the limit")
     return _LEN.pack(len(body)) + body
+
+
+def _encode_body(protocol: str, payload: Any, codec: Codec) -> bytes:
+    if wire_codec_mode() == CODEC_COMPACT:
+        frame = try_encode(payload)
+        if frame is not None:
+            name = protocol.encode("utf-8")
+            if len(name) <= 0xFFFF:
+                return _COMPACT_TAG + _PROTO_LEN.pack(len(name)) + name + frame
+    return codec.compress(serialize((protocol, payload)))
+
+
+def _decode_body(body: bytes, codec: Codec) -> tuple[str, Any]:
+    if body[:1] == _COMPACT_TAG:
+        header_end = 1 + _PROTO_LEN.size
+        if len(body) < header_end:
+            raise WireDecodeError("live frame truncated inside the protocol header")
+        (name_len,) = _PROTO_LEN.unpack_from(body, 1)
+        frame_start = header_end + name_len
+        if frame_start > len(body):
+            raise WireDecodeError("live frame truncated inside the protocol name")
+        try:
+            protocol = body[header_end:frame_start].decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise WireDecodeError(f"invalid utf-8 protocol name: {exc}") from exc
+        return protocol, decode_message(body[frame_start:])
+    try:
+        protocol, payload = deserialize(codec.decompress(body))
+    except Exception as exc:
+        raise WireDecodeError(f"corrupt pickle live frame: {exc}") from exc
+    return protocol, payload
 
 
 def read_frame(sock: socket.socket, codec: Codec) -> tuple[str, Any] | None:
@@ -47,8 +102,7 @@ def read_frame(sock: socket.socket, codec: Codec) -> tuple[str, Any] | None:
     body = _read_exactly(sock, length)
     if body is None:
         raise NetworkError("connection closed between header and body")
-    protocol, payload = deserialize(codec.decompress(body))
-    return protocol, payload
+    return _decode_body(body, codec)
 
 
 def _read_exactly(sock: socket.socket, count: int) -> bytes | None:
@@ -77,6 +131,9 @@ class LiveEndpoint:
         codec: Codec | None = None,
     ):
         self.codec = codec if codec is not None else DEFAULT_CODEC
+        # Incoming compact frames may name message types this process has
+        # not constructed yet; resolve every registered type id up front.
+        load_registrations()
         self._handlers: dict[str, Callable[[LiveAddress, Any], None]] = {}
         self._handlers_lock = threading.Lock()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -92,6 +149,7 @@ class LiveEndpoint:
         #: counters (informational; written by worker threads)
         self.messages_sent = 0
         self.messages_received = 0
+        self.decode_errors = 0
 
     # -- binding -----------------------------------------------------------------
 
@@ -164,6 +222,10 @@ class LiveEndpoint:
                     handler = self._handlers.get(protocol)
                 if handler is not None and not self._closed.is_set():
                     handler(reply_to or ("0.0.0.0", 0), payload)
+        except WireDecodeError:
+            # Corrupt frame: drop the message, count it, keep serving.
+            self.decode_errors += 1
+            return
         except (NetworkError, OSError):
             return  # a broken/peer-closed connection is not our problem
 

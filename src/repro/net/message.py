@@ -5,7 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.errors import WireDecodeError
 from repro.net.address import IPAddress
+from repro.net.codec import CODEC_COMPACT, CODEC_PICKLE, decode_message
 from repro.util.serialization import deserialize
 
 #: Fixed per-packet protocol overhead (headers, framing), in bytes.
@@ -19,16 +21,21 @@ _UNDECODED = object()
 class Packet:
     """One message travelling the simulated network.
 
-    ``raw`` is the serialized (uncompressed) payload captured at send
-    time; ``wire_size`` is the number of bytes the compressed form (plus
-    framing overhead) occupied on the wire — the quantity the
-    transmission-cost model charges for.
+    ``raw`` is the transport payload captured at send time — a compact
+    control frame or an (uncompressed) pickle, as tagged by ``codec``;
+    ``wire_size`` is the number of bytes the encoded form (plus framing
+    overhead) occupied on the wire — the quantity the transmission-cost
+    model charges for.  Decoding never decompresses: compression only
+    ever informs ``wire_size``, so lazy decode is ordering-independent
+    of the compression bypass.
 
-    ``payload`` deserializes ``raw`` lazily, on first access.  Receivers
+    ``payload`` decodes ``raw`` lazily, on first access.  Receivers
     therefore always get an independent copy snapshotted at send time
     (hosts are separate machines; aliasing would be a lie), while packets
     that are dropped en route — loss, no route, stale address — never pay
-    the deserialization at all.
+    the decode at all.  A malformed compact frame raises a typed
+    :class:`~repro.errors.WireDecodeError` from that first access;
+    :meth:`Host._dispatch` turns it into a counted drop.
     """
 
     src: IPAddress
@@ -37,13 +44,20 @@ class Packet:
     wire_size: int
     sent_at: float
     raw: bytes
+    codec: str = CODEC_PICKLE
     _decoded: Any = field(default=_UNDECODED, repr=False, compare=False)
 
     @property
     def payload(self) -> Any:
-        """The decoded application object (deserialized on first access)."""
+        """The decoded application object (decoded on first access)."""
         if self._decoded is _UNDECODED:
-            object.__setattr__(self, "_decoded", deserialize(self.raw))
+            if self.codec == CODEC_COMPACT:
+                decoded = decode_message(self.raw)
+            elif self.codec == CODEC_PICKLE:
+                decoded = deserialize(self.raw)
+            else:
+                raise WireDecodeError(f"unknown packet codec tag {self.codec!r}")
+            object.__setattr__(self, "_decoded", decoded)
         return self._decoded
 
     def __str__(self) -> str:

@@ -17,7 +17,12 @@ from __future__ import annotations
 
 from typing import Any, Callable
 
-from repro.errors import HostOffline, NetworkError, UnknownProtocolError
+from repro.errors import (
+    HostOffline,
+    NetworkError,
+    UnknownProtocolError,
+    WireDecodeError,
+)
 from repro.net.address import AddressPool, IPAddress
 from repro.net.link import LinkModel
 from repro.net.message import PACKET_OVERHEAD_BYTES, Packet
@@ -121,6 +126,7 @@ class Host:
             wire_size=wire_size,
             sent_at=self.sim.now,
             raw=encoded.raw,
+            codec=encoded.codec,
         )
         self.messages_sent += 1
         self.bytes_sent += wire_size
@@ -152,7 +158,12 @@ class Host:
             src=str(packet.src),
             size=packet.wire_size,
         )
-        handler(packet)
+        try:
+            handler(packet)
+        except WireDecodeError as exc:
+            # A malformed frame must never take down the delivery loop:
+            # the packet is dropped and the drop is counted.
+            self.network._drop_undecodable(packet, exc)
 
     def __repr__(self) -> str:
         state = str(self.address) if self.online else "offline"
@@ -192,6 +203,7 @@ class Network:
         self.packets_delivered = 0
         self.packets_dropped = 0
         self.bytes_carried = 0
+        self.decode_errors = 0
 
     @property
     def encode_hits(self) -> int:
@@ -286,4 +298,18 @@ class Network:
             dst=str(packet.dst),
             protocol=packet.protocol,
             reason=reason,
+        )
+
+    def _drop_undecodable(self, packet: Packet, error: WireDecodeError) -> None:
+        """A delivered packet's frame failed to decode: drop and count."""
+        self.decode_errors += 1
+        self.tracer.bump("net", "decode-error")
+        self.tracer.record(
+            self.sim.now,
+            "net",
+            "drop",
+            dst=str(packet.dst),
+            protocol=packet.protocol,
+            reason="decode-error",
+            error=str(error),
         )

@@ -7,6 +7,13 @@ model.  The simulation is single-process and the payloads are produced by
 this library itself, so pickle's trust model is acceptable here; shipping
 of agent *code* goes through the explicit source-shipping path in
 :mod:`repro.agents.codeship` instead of pickled classes.
+
+Small fixed-shape control messages additionally register with the compact
+wire codec (:mod:`repro.net.codec`): those skip pickle+gzip entirely and
+travel as struct-packed binary frames.  ``REPRO_WIRE_CODEC=pickle``
+forces even registered messages down the pickle path — but the charged
+wire size stays the canonical compact-frame size either way, so the
+switch can never change a simulated byte count, only wall-clock.
 """
 
 from __future__ import annotations
@@ -29,6 +36,19 @@ PICKLE_PROTOCOL = 4
 #: globally (the determinism regression tests do exactly that).
 WIRE_CACHE_CAPACITY = 128
 
+#: Lazily bound :mod:`repro.net.codec` (imported on first encode to keep
+#: ``repro.util`` importable before ``repro.net`` finishes initialising).
+_wire_codec_module = None
+
+
+def _wire_codec():
+    global _wire_codec_module
+    if _wire_codec_module is None:
+        from repro.net import codec
+
+        _wire_codec_module = codec
+    return _wire_codec_module
+
 
 def serialize(obj: Any) -> bytes:
     """Serialize ``obj`` to bytes."""
@@ -46,28 +66,35 @@ def serialized_size(obj: Any) -> int:
 
 
 class EncodedPayload:
-    """One payload's wire form: serialized bytes plus compressed size.
+    """One payload's wire form: transport bytes plus charged size.
 
-    ``raw`` is the uncompressed pickle — receivers deserialize it to get
-    an independent copy; ``compressed_size`` is what the transmission
-    model charges (framing overhead excluded).
+    ``raw`` is what the receiver decodes — a compact frame under the
+    compact codec, an uncompressed pickle otherwise; ``codec`` tags which
+    (it travels into :class:`~repro.net.message.Packet` so lazy decode
+    picks the right inverse).  ``compressed_size`` is what the
+    transmission model charges (framing overhead excluded): the compact
+    frame length for registered control messages *regardless of codec
+    mode*, the gzip size of the pickle for everything else.
     """
 
-    __slots__ = ("raw", "compressed_size")
+    __slots__ = ("raw", "compressed_size", "codec")
 
-    def __init__(self, raw: bytes, compressed_size: int):
+    def __init__(self, raw: bytes, compressed_size: int, codec: str = "pickle"):
         self.raw = raw
         self.compressed_size = compressed_size
+        self.codec = codec
 
 
 class WireEncoder:
     """Serialize+compress payloads once per object, not once per recipient.
 
-    Encoding is memoized on *payload identity*: a fan-out loop that sends
-    the same envelope object to N peers pays one ``pickle.dumps`` and one
-    compression instead of N.  Each cache entry keeps a strong reference
-    to its payload so an ``id()`` can never be reused while the entry is
-    live; the ``is`` check on lookup makes a stale hit impossible.
+    Encoding is memoized on *payload identity*, keyed per wire codec: a
+    fan-out loop that sends the same envelope object to N peers pays one
+    encoding instead of N, and a mid-run ``REPRO_WIRE_CODEC`` flip can
+    never serve bytes produced under the other codec.  Each cache entry
+    keeps a strong reference to its payload so an ``id()`` can never be
+    reused while the entry is live; the ``is`` check on lookup makes a
+    stale hit impossible.
 
     The cache assumes payloads are not mutated between sends — true for
     every protocol message in this library (frozen dataclasses, tuples,
@@ -86,8 +113,13 @@ class WireEncoder:
         self.tracer = tracer
         self.hits = 0
         self.misses = 0
-        #: id(payload) -> (payload, encoded); ordered for LRU eviction
-        self._cache: OrderedDict[int, tuple[Any, EncodedPayload]] = OrderedDict()
+        #: payloads that took the compact path / the pickle(+gzip) path
+        self.compact_frames = 0
+        self.pickle_payloads = 0
+        #: (id(payload), codec mode) -> (payload, encoded); LRU-ordered
+        self._cache: OrderedDict[tuple[int, str], tuple[Any, EncodedPayload]] = (
+            OrderedDict()
+        )
 
     @property
     def hit_ratio(self) -> float:
@@ -97,8 +129,10 @@ class WireEncoder:
         return self.hits / total
 
     def encode(self, payload: Any) -> EncodedPayload:
-        """Wire form of ``payload``, memoized per object identity."""
-        key = id(payload)
+        """Wire form of ``payload``, memoized per (object identity, codec)."""
+        wire = _wire_codec()
+        mode = wire.wire_codec_mode()
+        key = (id(payload), mode)
         entry = self._cache.get(key)
         if entry is not None and entry[0] is payload:
             self.hits += 1
@@ -109,14 +143,29 @@ class WireEncoder:
         self.misses += 1
         if self.tracer is not None:
             self.tracer.bump("net", "encode-miss")
-        raw = serialize(payload)
-        encoded = EncodedPayload(raw, len(self.codec.compress(raw)))
+        encoded = self._encode(payload, wire, mode)
         if self.capacity > 0:
             self._cache[key] = (payload, encoded)
             self._cache.move_to_end(key)
             while len(self._cache) > self.capacity:
                 self._cache.popitem(last=False)
         return encoded
+
+    def _encode(self, payload: Any, wire, mode: str) -> EncodedPayload:
+        frame = wire.try_encode(payload)
+        if frame is not None:
+            self.compact_frames += 1
+            if self.tracer is not None:
+                self.tracer.bump("net", "encode-compact")
+            if mode == wire.CODEC_COMPACT:
+                return EncodedPayload(frame, len(frame), wire.CODEC_COMPACT)
+            # Pickle fallback mode: ship pickle bytes, but charge the
+            # canonical compact-frame size so simulated byte counts are
+            # bit-identical whichever codec is selected.
+            return EncodedPayload(serialize(payload), len(frame), wire.CODEC_PICKLE)
+        self.pickle_payloads += 1
+        raw = serialize(payload)
+        return EncodedPayload(raw, len(self.codec.compress(raw)), wire.CODEC_PICKLE)
 
     def clear(self) -> None:
         """Drop all cached encodings (counters are kept)."""

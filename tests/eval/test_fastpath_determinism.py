@@ -1,12 +1,13 @@
 """The performance fast paths must never change a result.
 
-Four independent switches can alter how much work the reproduction
+Five independent switches can alter how much work the reproduction
 does per figure — the wire encoding cache, StorM's decoded-scan cache,
-the agent-path source/compile caches (``REPRO_NO_AGENT_CACHE=1``), and
-the parallel experiment runner.  Each exists purely to save wall-clock;
-these tests pin down that every observable output (figure series, bytes
-on the wire, packet counts, answer hop counts, buffer I/O statistics)
-is bit-identical whichever way the switches are thrown.
+the agent-path source/compile caches (``REPRO_NO_AGENT_CACHE=1``), the
+compact wire codec (``REPRO_WIRE_CODEC=pickle``), and the parallel
+experiment runner.  Each exists purely to save wall-clock; these tests
+pin down that every observable output (figure series, bytes on the
+wire, packet counts, answer hop counts, buffer I/O statistics) is
+bit-identical whichever way the switches are thrown.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import pytest
 import repro.storm.store as store_module
 import repro.util.serialization as serialization_module
 from repro.agents import codeship
+from repro.net.codec import WIRE_CODEC_ENV_VAR
 from repro.core.builder import build_network
 from repro.core.config import BestPeerConfig
 from repro.eval.experiment import ExperimentRunner, ParallelExperimentRunner
@@ -126,6 +128,68 @@ def test_wire_bytes_and_hops_identical_agent_cache_on_vs_off(monkeypatch):
     codeship.clear_caches()
     without_cache = _drive_deployment()
     assert with_cache == without_cache
+
+
+def test_series_identical_under_pickle_wire_codec(monkeypatch, fastpath_results):
+    monkeypatch.setenv(WIRE_CODEC_ENV_VAR, "pickle")
+    assert _run_figures() == fastpath_results
+
+
+def test_series_identical_under_pickle_wire_codec_parallel(
+    monkeypatch, fastpath_results
+):
+    # The codec switch is read from the environment on every encode, so
+    # the multiprocessing runner's workers inherit it like any other env.
+    monkeypatch.setenv(WIRE_CODEC_ENV_VAR, "pickle")
+    parallel = ParallelExperimentRunner(jobs=2)
+    fig5 = figure_5a(TINY, sizes=(1, 2, 4), runner=parallel)
+    fig8 = figure_8a(TINY, node_count=8, max_peers=4, holder_count=2, runner=parallel)
+    assert (fig5.series, fig8.series) == fastpath_results
+
+
+def test_wire_bytes_and_hops_identical_compact_vs_pickle(monkeypatch):
+    monkeypatch.delenv(WIRE_CODEC_ENV_VAR, raising=False)
+    compact = _drive_deployment()
+    monkeypatch.setenv(WIRE_CODEC_ENV_VAR, "pickle")
+    assert _drive_deployment() == compact
+
+
+def _flood_observables(node_count: int = 32) -> tuple:
+    """A seeded star flood; per-host byte counts plus network totals."""
+    deployment = build_network(
+        node_count,
+        config=BestPeerConfig(max_direct_peers=node_count, strategy="static"),
+        topology=star(node_count),
+    )
+    deployment.nodes[3].share(["needle"], b"payload-at-node-3")
+    deployment.nodes[node_count - 1].share(["needle"], b"payload-at-the-rim")
+    answer_hops = []
+    for _ in range(2):
+        handle = deployment.base.issue_query("needle")
+        deployment.sim.run()
+        answer_hops.extend(
+            sorted(
+                (str(ans.responder), ans.hops, ans.answer_count)
+                for ans in handle.answers
+            )
+        )
+        deployment.base.finish_query(handle)
+    network = deployment.network
+    return (
+        [host.bytes_sent for host in network.hosts.values()],
+        answer_hops,
+        network.bytes_carried,
+        network.packets_delivered,
+        network.packets_dropped,
+        network.decode_errors,
+    )
+
+
+def test_32_node_flood_identical_compact_vs_pickle(monkeypatch):
+    monkeypatch.delenv(WIRE_CODEC_ENV_VAR, raising=False)
+    compact = _flood_observables()
+    monkeypatch.setenv(WIRE_CODEC_ENV_VAR, "pickle")
+    assert _flood_observables() == compact
 
 
 def test_encoder_cache_actually_hits_during_flood():

@@ -126,3 +126,94 @@ class TestLiveEndpoint:
         a.send(b.address, "big", blob)
         assert wait_until(lambda: received)
         assert received[0] == blob
+
+
+class TestCompactLiveFraming:
+    """Registered control messages cross the live wire as compact frames."""
+
+    def test_registered_message_round_trips(self, endpoints, monkeypatch):
+        from repro.liglo.messages import PROTO_PING, Ping
+        from repro.net.codec import WIRE_CODEC_ENV_VAR
+
+        monkeypatch.delenv(WIRE_CODEC_ENV_VAR, raising=False)
+        a, b = endpoints(), endpoints()
+        received = []
+        b.bind(PROTO_PING, lambda src, payload: received.append(payload))
+        a.send(b.address, PROTO_PING, Ping(token=7))
+        assert wait_until(lambda: received)
+        assert received[0] == Ping(token=7)
+
+    def test_compact_body_discriminates_from_legacy(self):
+        from repro.liglo.messages import Ping
+        from repro.net.codec import FRAME_MAGIC
+        from repro.live.transport import _decode_body, _encode_body
+        from repro.util.compression import DEFAULT_CODEC
+
+        compact = _encode_body("liglo.ping", Ping(token=7), DEFAULT_CODEC)
+        assert compact[0] == FRAME_MAGIC
+        legacy = _encode_body("blob", {"k": "v"}, DEFAULT_CODEC)
+        assert legacy[0] != FRAME_MAGIC  # gzip stream starts 0x1f
+        assert _decode_body(compact, DEFAULT_CODEC) == ("liglo.ping", Ping(token=7))
+        assert _decode_body(legacy, DEFAULT_CODEC) == ("blob", {"k": "v"})
+
+    def test_pickle_mode_round_trips_and_skips_compact_framing(
+        self, endpoints, monkeypatch
+    ):
+        from repro.liglo.messages import PROTO_PING, Ping
+        from repro.net.codec import FRAME_MAGIC, WIRE_CODEC_ENV_VAR
+        from repro.live.transport import _encode_body
+        from repro.util.compression import DEFAULT_CODEC
+
+        monkeypatch.setenv(WIRE_CODEC_ENV_VAR, "pickle")
+        body = _encode_body("liglo.ping", Ping(token=7), DEFAULT_CODEC)
+        assert body[0] != FRAME_MAGIC
+        a, b = endpoints(), endpoints()
+        received = []
+        b.bind(PROTO_PING, lambda src, payload: received.append(payload))
+        a.send(b.address, PROTO_PING, Ping(token=7))
+        assert wait_until(lambda: received)
+        assert received[0] == Ping(token=7)
+
+    def test_corrupt_frame_counted_and_does_not_kill_the_serve_loop(
+        self, endpoints
+    ):
+        import socket
+        import struct
+
+        from repro.liglo.messages import PROTO_PING, Ping
+        from repro.net.codec import encode_message
+        from repro.net.faults import FrameFaultInjector
+        from repro.live.transport import _PROTO_LEN
+
+        b = endpoints()
+        received = []
+        b.bind(PROTO_PING, lambda src, payload: received.append(payload))
+
+        # Hand-build a compact live body around a truncated frame and
+        # push it straight down a socket (no _reply_to preamble needed).
+        frame = FrameFaultInjector(seed=2).truncate(
+            encode_message(Ping(token=1)), keep=6
+        )
+        name = PROTO_PING.encode()
+        body = b"\xb7" + _PROTO_LEN.pack(len(name)) + name + frame
+        with socket.create_connection(b.address, timeout=5.0) as sock:
+            sock.sendall(struct.pack("<I", len(body)) + body)
+        assert wait_until(lambda: b.decode_errors == 1)
+        assert received == []
+
+        # The endpoint keeps serving well-formed traffic afterwards.
+        a = endpoints()
+        a.send(b.address, PROTO_PING, Ping(token=2))
+        assert wait_until(lambda: received)
+        assert received == [Ping(token=2)]
+        assert b.decode_errors == 1
+
+    def test_corrupt_legacy_body_also_counted(self, endpoints):
+        import socket
+        import struct
+
+        b = endpoints()
+        body = b"\x1f\x8b" + b"\x00" * 16  # gzip magic, garbage stream
+        with socket.create_connection(b.address, timeout=5.0) as sock:
+            sock.sendall(struct.pack("<I", len(body)) + body)
+        assert wait_until(lambda: b.decode_errors == 1)

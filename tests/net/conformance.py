@@ -1,0 +1,134 @@
+"""Reusable protocol-conformance battery for the compact wire codec.
+
+Subclass :class:`CodecConformance` in a test module and every registered
+message type is driven through round-trip, header, truncation, bit-flip,
+wrong-version, oversize and trailing-garbage checks.  The battery backs
+two contracts:
+
+* **round trip** — ``decode(encode(m)) == m`` for every registered
+  sample, and encoding is deterministic;
+* **strict decode** — every malformation a
+  :class:`~repro.net.faults.FrameFaultInjector` can produce either
+  raises a typed :class:`~repro.errors.WireDecodeError` or (for body
+  bit flips that stay self-consistent) decodes into a *registered*
+  message type.  Nothing else may escape the decoder.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WireDecodeError
+from repro.net.codec import (
+    FRAME_MAGIC,
+    HEADER_SIZE,
+    WIRE_FORMAT_VERSION,
+    decode_message,
+    encode_message,
+    load_registrations,
+    registered_specs,
+    spec_for_id,
+)
+from repro.net.faults import FrameFaultInjector
+
+load_registrations()
+
+
+def _spec_id(spec) -> str:
+    return spec.name.removeprefix("repro.")
+
+
+class CodecConformance:
+    """Mixin: parametrizes every test over all registered message specs."""
+
+    @pytest.fixture(params=registered_specs(), ids=_spec_id)
+    def spec(self, request):
+        return request.param
+
+    @pytest.fixture
+    def frame(self, spec) -> bytes:
+        return encode_message(spec.sample())
+
+    @pytest.fixture
+    def injector(self) -> FrameFaultInjector:
+        return FrameFaultInjector(seed=0)
+
+    # -- round trip ---------------------------------------------------------
+
+    def test_sample_round_trips(self, spec, frame):
+        assert decode_message(frame) == spec.sample()
+
+    def test_encoding_is_deterministic(self, spec, frame):
+        assert encode_message(spec.sample()) == frame
+
+    def test_frame_header(self, spec, frame):
+        assert frame[0] == FRAME_MAGIC
+        assert frame[1] == WIRE_FORMAT_VERSION
+        assert int.from_bytes(frame[2:4], "big") == spec.type_id
+
+    # -- fault injection ----------------------------------------------------
+
+    def test_every_truncation_raises(self, frame, injector):
+        for keep in range(len(frame)):
+            with pytest.raises(WireDecodeError):
+                decode_message(injector.truncate(frame, keep=keep))
+
+    def test_magic_and_version_bit_flips_raise(self, frame, injector):
+        for position in (0, 1):
+            for bit in range(8):
+                corrupted = injector.bit_flip(frame, position=position, bit=bit)
+                with pytest.raises(WireDecodeError):
+                    decode_message(corrupted)
+
+    def test_type_id_bit_flips_raise_or_alias_registered(self, spec, frame, injector):
+        # A flipped type id usually misses the registry or mis-parses the
+        # body; when the bytes happen to satisfy another layout, the result
+        # must still be a *registered* type (never spec.cls itself).
+        for position in (2, 3):
+            for bit in range(8):
+                corrupted = injector.bit_flip(frame, position=position, bit=bit)
+                try:
+                    decoded = decode_message(corrupted)
+                except WireDecodeError:
+                    continue
+                aliased = spec_for_id(int.from_bytes(corrupted[2:4], "big"))
+                assert aliased is not None
+                assert type(decoded) is aliased.cls
+                assert aliased.cls is not spec.cls
+
+    def test_body_bit_flips_never_crash(self, frame, injector):
+        for position in range(HEADER_SIZE, len(frame)):
+            for bit in range(8):
+                corrupted = injector.bit_flip(frame, position=position, bit=bit)
+                try:
+                    decoded = decode_message(corrupted)
+                except WireDecodeError:
+                    continue  # the expected outcome for most flips
+                assert spec_for_id(int.from_bytes(corrupted[2:4], "big")) is not None
+                assert type(decoded) in {s.cls for s in registered_specs()}
+
+    def test_wrong_version_raises(self, frame, injector):
+        for version in (0, WIRE_FORMAT_VERSION + 1, 0xFF):
+            with pytest.raises(WireDecodeError, match="version"):
+                decode_message(injector.wrong_version(frame, version=version))
+
+    def test_oversized_frame_raises(self, frame, injector):
+        with pytest.raises(WireDecodeError, match="oversized"):
+            decode_message(injector.oversize(frame))
+
+    def test_trailing_garbage_raises(self, frame, injector):
+        with pytest.raises(WireDecodeError, match="trailing"):
+            decode_message(injector.trailing_garbage(frame))
+
+    def test_random_fault_battery(self, frame, injector):
+        # Seeded random sweep across every fault class: nothing but
+        # WireDecodeError (or a clean registered decode) may escape.
+        for _round in range(25):
+            for name, fault in injector.faults().items():
+                corrupted = fault(frame)
+                try:
+                    decoded = decode_message(corrupted)
+                except WireDecodeError:
+                    continue
+                assert name == "bit-flipped", f"{name} fault decoded cleanly"
+                assert type(decoded) in {s.cls for s in registered_specs()}

@@ -1,0 +1,237 @@
+"""Packet codec tagging, lazy decode, the pickle fallback, and the
+drop-and-count behaviour of the delivery loop on corrupt frames."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WireDecodeError
+from repro.ids import BPID
+from repro.liglo.messages import PROTO_PING, Ping, Pong
+from repro.net.codec import (
+    CODEC_COMPACT,
+    CODEC_PICKLE,
+    WIRE_CODEC_ENV_VAR,
+    encode_message,
+)
+from repro.net.faults import FrameFaultInjector
+from repro.net.message import PACKET_OVERHEAD_BYTES, Packet
+from repro.net.network import Network
+from repro.sim import Simulator
+from repro.util.compression import DEFAULT_CODEC
+from repro.util.serialization import WireEncoder, serialize
+from repro.util.tracing import Tracer
+
+
+@pytest.fixture(autouse=True)
+def _default_codec_mode(monkeypatch):
+    monkeypatch.delenv(WIRE_CODEC_ENV_VAR, raising=False)
+
+
+def _pair():
+    sim = Simulator()
+    network = Network(sim, tracer=Tracer())
+    alice = network.create_host("alice")
+    bob = network.create_host("bob")
+    return sim, network, alice, bob
+
+
+def _deliver_one(payload, protocol=PROTO_PING):
+    """Send one payload alice->bob; returns (network, packet, wire_size)."""
+    sim, network, alice, bob = _pair()
+    received = []
+    bob.bind(protocol, received.append)
+    wire_size = alice.send(bob.address, protocol, payload)
+    sim.run()
+    assert len(received) == 1
+    return network, received[0], wire_size
+
+
+# ---------------------------------------------------------------------------
+# Compact path
+# ---------------------------------------------------------------------------
+
+
+def test_registered_message_travels_as_compact_frame():
+    ping = Ping(token=7)
+    network, packet, wire_size = _deliver_one(ping)
+    frame = encode_message(ping)
+    assert packet.codec == CODEC_COMPACT
+    assert packet.raw == frame
+    assert packet.wire_size == len(frame) + PACKET_OVERHEAD_BYTES
+    assert wire_size == packet.wire_size
+    assert packet.payload == ping
+    assert network.encoder.compact_frames == 1
+
+
+def test_decoded_payload_is_an_independent_copy():
+    pong = Pong(token=3, bpid=BPID("s", 1))
+    _network, packet, _size = _deliver_one(pong)
+    assert packet.payload == pong
+    assert packet.payload is not pong  # hosts are separate machines
+
+
+def test_lazy_decode_happens_once_and_is_cached():
+    _network, packet, _size = _deliver_one(Ping(token=1))
+    first = packet.payload
+    assert packet.payload is first  # second access returns the memo
+
+
+# ---------------------------------------------------------------------------
+# Pickle fallback: mode switch and unregistered payloads
+# ---------------------------------------------------------------------------
+
+
+def test_pickle_mode_ships_pickle_but_charges_the_frame_size(monkeypatch):
+    ping = Ping(token=7)
+    compact_size = _deliver_one(ping)[2]
+
+    monkeypatch.setenv(WIRE_CODEC_ENV_VAR, "pickle")
+    network, packet, pickle_size = _deliver_one(ping)
+    assert packet.codec == CODEC_PICKLE
+    assert packet.raw == serialize(ping)
+    assert packet.payload == ping
+    # The charged size must not depend on the selected codec.
+    assert pickle_size == compact_size
+    assert network.encoder.compact_frames == 1  # still took the compact sizing
+
+
+def test_unregistered_payload_takes_gzip_pickle_in_both_modes(monkeypatch):
+    payload = {"keyword": "music", "blob": b"x" * 400}
+    raw = serialize(payload)
+    charged = len(DEFAULT_CODEC.compress(raw))
+
+    for mode in (None, "pickle", "compact"):
+        if mode is None:
+            monkeypatch.delenv(WIRE_CODEC_ENV_VAR, raising=False)
+        else:
+            monkeypatch.setenv(WIRE_CODEC_ENV_VAR, mode)
+        network, packet, wire_size = _deliver_one(payload)
+        assert packet.codec == CODEC_PICKLE
+        assert packet.raw == raw
+        assert wire_size == charged + PACKET_OVERHEAD_BYTES
+        assert packet.payload == payload
+        assert network.encoder.pickle_payloads == 1
+
+
+def test_decode_never_needs_decompression():
+    # Regression: the charged size uses gzip, but the transport bytes are
+    # the *uncompressed* pickle — lazy decode must work on ``raw`` directly,
+    # independent of the compression bypass that sized the packet.
+    payload = {"blob": b"y" * 4096}  # very compressible: sizes diverge
+    _network, packet, wire_size = _deliver_one(payload)
+    assert wire_size < len(packet.raw)  # charged gzip size, shipped pickle
+    assert packet.payload == payload  # plain deserialize, no decompress
+
+
+# ---------------------------------------------------------------------------
+# WireEncoder: per-call env check, cache keyed per codec
+# ---------------------------------------------------------------------------
+
+
+def test_encoder_cache_is_keyed_per_codec_mode(monkeypatch):
+    encoder = WireEncoder(DEFAULT_CODEC)
+    ping = Ping(token=9)
+
+    compact = encoder.encode(ping)
+    assert compact.codec == CODEC_COMPACT
+    assert encoder.misses == 1
+
+    # The mode is read from the environment on *every* call, so a flip
+    # takes effect immediately — and may never serve the other mode's bytes.
+    monkeypatch.setenv(WIRE_CODEC_ENV_VAR, "pickle")
+    fallback = encoder.encode(ping)
+    assert fallback.codec == CODEC_PICKLE
+    assert fallback.raw == serialize(ping)
+    assert fallback.compressed_size == compact.compressed_size
+    assert encoder.misses == 2 and encoder.hits == 0
+
+    # Both entries stay cached under their own key.
+    assert encoder.encode(ping) is fallback
+    monkeypatch.delenv(WIRE_CODEC_ENV_VAR)
+    assert encoder.encode(ping) is compact
+    assert encoder.hits == 2
+
+
+def test_encoder_cache_capacity_zero_disables_memoization():
+    encoder = WireEncoder(DEFAULT_CODEC, capacity=0)
+    ping = Ping(token=9)
+    first = encoder.encode(ping)
+    second = encoder.encode(ping)
+    assert first is not second
+    assert first.raw == second.raw
+    assert encoder.hits == 0 and encoder.misses == 2
+
+
+# ---------------------------------------------------------------------------
+# Corrupt frames in the delivery loop
+# ---------------------------------------------------------------------------
+
+
+def test_unknown_packet_codec_tag_raises():
+    packet = Packet(
+        src=None,
+        dst=None,
+        protocol="p",
+        wire_size=1,
+        sent_at=0.0,
+        raw=b"",
+        codec="zstd",
+    )
+    with pytest.raises(WireDecodeError, match="zstd"):
+        packet.payload
+
+
+@pytest.mark.parametrize("fault", ["truncated", "bit-flipped", "wrong-version"])
+def test_corrupt_frame_is_dropped_counted_and_does_not_kill_the_host(fault):
+    sim, network, alice, bob = _pair()
+    received = []
+    bob.bind(PROTO_PING, lambda packet: received.append(packet.payload))
+
+    frame = encode_message(Ping(token=1))
+    corrupted = FrameFaultInjector(seed=1).faults()[fault](frame)
+    if fault == "bit-flipped":
+        corrupted = bytes([frame[0] ^ 0x01]) + frame[1:]  # guaranteed-bad magic
+    packet = Packet(
+        src=alice.address,
+        dst=bob.address,
+        protocol=PROTO_PING,
+        wire_size=len(corrupted) + PACKET_OVERHEAD_BYTES,
+        sent_at=sim.now,
+        raw=bytes(corrupted),
+        codec=CODEC_COMPACT,
+    )
+    bob._receive(packet)
+    sim.run()
+
+    assert received == []  # the corrupt packet never reached the handler
+    assert network.decode_errors == 1
+    assert network.tracer.counter("net", "decode-error") == 1
+    drops = [e for e in network.tracer.select("net", "drop")]
+    assert any(e.get("reason") == "decode-error" for e in drops)
+
+    # The host keeps serving: a well-formed message still goes through.
+    alice.send(bob.address, PROTO_PING, Ping(token=2))
+    sim.run()
+    assert received == [Ping(token=2)]
+    assert network.decode_errors == 1  # no new errors
+
+
+def test_corrupt_pickle_payload_is_also_dropped_and_counted():
+    sim, network, alice, bob = _pair()
+    received = []
+    bob.bind("blob", lambda packet: received.append(packet.payload))
+    raw = serialize({"k": "v"})
+    packet = Packet(
+        src=alice.address,
+        dst=bob.address,
+        protocol="blob",
+        wire_size=len(raw) + PACKET_OVERHEAD_BYTES,
+        sent_at=sim.now,
+        raw=raw,
+        codec="no-such-codec",
+    )
+    bob._receive(packet)
+    sim.run()
+    assert received == []
+    assert network.decode_errors == 1
