@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Sequence
 
-from repro.eval import ablations, figures
+from repro.eval import ablations, churn, figures
 from repro.eval.experiment import (
     ExperimentRunner,
     FigureResult,
@@ -37,6 +37,7 @@ FIGURES: dict[str, Callable[[FigureParams], FigureResult]] = {
     "7": figures.figure_7,
     "8a": figures.figure_8a,
     "8b": figures.figure_8b,
+    "churn": churn.figure_churn,
 }
 
 ABLATIONS: dict[str, Callable[[FigureParams], FigureResult]] = {

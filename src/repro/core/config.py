@@ -14,6 +14,7 @@ from repro.agents.costs import AgentCosts
 from repro.agents.envelope import DEFAULT_TTL
 from repro.agents.messages import MODE_DIRECT, MODE_METADATA
 from repro.errors import BestPeerError
+from repro.util.retry import RetryPolicy
 
 
 @dataclass(frozen=True)
@@ -41,8 +42,19 @@ class BestPeerConfig:
     shipping_policy: str = "always-code"
     #: agent install/execution cost model
     agent_costs: AgentCosts = field(default_factory=AgentCosts)
+    #: retry/backoff for LIGLO exchanges, fetches, and rejoin; None keeps
+    #: the legacy single-attempt behaviour (healthy networks unchanged)
+    retry_policy: RetryPolicy | None = None
+    #: consecutive request timeouts before a direct peer turns suspect
+    suspect_after: int = 3
+    #: seed scope for retry jitter (combined with the node name)
+    retry_seed: int = 0
 
     def __post_init__(self) -> None:
+        if self.suspect_after < 1:
+            raise BestPeerError(
+                f"suspect_after must be >= 1, got {self.suspect_after}"
+            )
         if self.max_direct_peers < 1:
             raise BestPeerError(
                 f"max_direct_peers must be >= 1, got {self.max_direct_peers}"

@@ -72,6 +72,7 @@ from repro.net.message import Packet
 from repro.net.network import Network
 from repro.storm.heapfile import RecordId
 from repro.storm.store import StorM
+from repro.util.randomness import derive_rng
 from repro.util.tracing import NULL_TRACER, Tracer
 
 
@@ -100,18 +101,40 @@ class BestPeerNode:
             if strategy is not None
             else make_reconfig_strategy(self.config.strategy)
         )
-        self.liglo = LigloClient(self.host, tracer=self.tracer)
+        #: jitter stream for every retry this node performs; derived from
+        #: the config seed and the node name, so runs replay bit-identically
+        self._retry_rng = derive_rng(self.config.retry_seed, "retry", name)
+        self.liglo = LigloClient(
+            self.host,
+            tracer=self.tracer,
+            retry_policy=self.config.retry_policy,
+            rng=self._retry_rng,
+        )
         self.catalog = ShareCatalog()
         self.engine: AgentEngine | None = None
         self._queries: dict[QueryId, QueryHandle] = {}
         self._query_serials = SerialCounter()
         self._fetch_tokens = SerialCounter()
-        self._pending_fetches: dict[int, Callable[[FetchReply | None], None]] = {}
-        self._pending_actives: dict[int, Callable[[ActiveReply | None], None]] = {}
+        #: token -> (callback, holder address, rid, failures so far)
+        self._pending_fetches: dict[
+            int,
+            tuple[Callable[[FetchReply | None], None], IPAddress, RecordId, int],
+        ] = {}
+        #: token -> (callback, owner address, name, credential, failures)
+        self._pending_actives: dict[
+            int,
+            tuple[Callable[[ActiveReply | None], None], IPAddress, str, str, int],
+        ] = {}
         self.shipping = make_shipping_policy(self.config.shipping_policy)
         self._estimates: dict[BPID, PeerEstimate] = {}
         self._data_cache: dict[BPID, list] = {}
-        self._pending_data: dict[int, tuple[BPID, QueryHandle]] = {}
+        #: token -> (peer bpid, handle, peer address, failures, expiry timer)
+        self._pending_data: dict[int, tuple] = {}
+        #: request timeouts by kind (fetch / active / data)
+        self.request_timeouts: dict[str, int] = {}
+        #: re-sends triggered by the retry policy (excludes LIGLO retries,
+        #: which the LigloClient counts itself)
+        self.request_retries = 0
         self.host.bind(PROTO_ANSWER, self._on_answer)
         self.host.bind(PROTO_FETCH, self._on_fetch)
         self.host.bind(PROTO_FETCH_REPLY, self._on_fetch_reply)
@@ -169,20 +192,42 @@ class BestPeerNode:
             bpid,
             services={"storm": self.storm, "node": self},
             costs=self.config.agent_costs,
-            get_peers=self.peers.addresses,
+            get_peers=self._flood_addresses,
             tracer=self.tracer,
         )
+
+    def _flood_addresses(self) -> list[IPAddress]:
+        """Fan-out targets: every direct peer not suspected dead.
+
+        In a healthy network no peer is suspect, so this is exactly the
+        full peer list — floods are unchanged until timeouts accumulate.
+        """
+        return self.peers.live_addresses()
 
     def leave(self) -> None:
         """Disconnect from the network (the address lease is released)."""
         self.host.disconnect()
 
-    def rejoin(self, on_refreshed: Callable[[], None] | None = None) -> None:
+    def rejoin(
+        self,
+        on_refreshed: Callable[[], None] | None = None,
+        on_failed: Callable[[Exception], None] | None = None,
+    ) -> None:
         """Reconnect after churn, per Section 2's rejoin protocol.
 
         The node (1) reconnects under a fresh IP, (2) announces the new
         IP to its own LIGLO, and (3) asks each direct peer's registered
         LIGLO for that peer's current IP, updating or dropping the peer.
+
+        With a retry policy configured, step (2) becomes a *verified*
+        announce: it is retried per the backoff schedule, and if the
+        LIGLO stays unreachable the whole budget, ``on_failed`` receives
+        the :class:`~repro.errors.LigloUnreachableError` (or, without
+        ``on_failed``, the error propagates out of the event loop).
+        Step (3) then also changes shape: a peer whose LIGLO never
+        answers is *kept but charged a timeout* — silence cannot
+        distinguish a dead peer from a dead name server — while a LIGLO
+        that answers "offline" still drops the peer.
         """
         self.host.connect()
         if self.engine is None:
@@ -190,7 +235,16 @@ class BestPeerNode:
                 on_refreshed()
             return
         if self.liglo.bpid is not None:
+            if self.config.retry_policy is not None:
+                self.liglo.announce_verified(
+                    on_ok=lambda: self._refresh_peers(on_refreshed),
+                    on_failed=on_failed,
+                )
+                return
             self.liglo.announce()
+        self._refresh_peers(on_refreshed)
+
+    def _refresh_peers(self, on_refreshed: Callable[[], None] | None) -> None:
         pending = len(self.peers)
         if pending == 0:
             if on_refreshed is not None:
@@ -202,6 +256,12 @@ class BestPeerNode:
             if reply is not None and reply.online and reply.address is not None:
                 if peer_bpid in self.peers:
                     self.peers.update_address(peer_bpid, reply.address)
+                    self.peers.note_alive(peer_bpid, self.sim.now)
+            elif reply is None and self.config.retry_policy is not None:
+                # The peer's LIGLO never answered (even with retries):
+                # keep the peer — it may be fine — but charge a timeout
+                # so repeated silence eventually marks it suspect.
+                self._charge_timeout("rejoin", peer_bpid)
             elif peer_bpid in self.peers:
                 # Peer is offline or its LIGLO vanished: drop it; a later
                 # reconfiguration will fill the slot with a fresh peer.
@@ -218,6 +278,33 @@ class BestPeerNode:
                 peer.bpid,
                 lambda reply, peer_bpid=peer.bpid: resolved(peer_bpid, reply),
             )
+
+    # -- liveness ---------------------------------------------------------------
+
+    def _charge_timeout(self, kind: str, bpid: BPID | None) -> None:
+        """Count a request timeout and (maybe) turn its peer suspect."""
+        self.request_timeouts[kind] = self.request_timeouts.get(kind, 0) + 1
+        if bpid is None:
+            return
+        if self.peers.note_timeout(bpid, self.config.suspect_after):
+            self.tracer.record(
+                self.sim.now, "node", "peer-suspect", node=self.name, peer=str(bpid)
+            )
+
+    def _bpid_for_address(self, address: IPAddress) -> BPID | None:
+        """Direct peer currently known at ``address`` (None otherwise)."""
+        for peer in self.peers.entries():
+            if peer.address == address:
+                return peer.bpid
+        return None
+
+    def _retries_left(self, failures: int) -> bool:
+        policy = self.config.retry_policy
+        return policy is not None and policy.should_retry(failures)
+
+    def _retry_after(self, failures: int) -> float:
+        assert self.config.retry_policy is not None
+        return self.config.retry_policy.delay(failures, self._retry_rng)
 
     # -- peer management ---------------------------------------------------------
 
@@ -282,6 +369,10 @@ class BestPeerNode:
             mode="metadata" if self.config.result_mode == MODE_METADATA else "direct",
             use_index=self.config.use_index,
         )
+        for _ in self.peers.suspect_bpids():
+            # The flood skips suspected-dead peers: the query still runs,
+            # but the caller can see its answer set may be partial.
+            handle.mark_degraded("suspect-peer-skipped")
         self.engine.dispatch(
             agent,
             query_id=query_id,
@@ -308,6 +399,7 @@ class BestPeerNode:
 
     def _on_answer(self, packet: Packet) -> None:
         answer: AnswerMessage = packet.payload
+        self.peers.note_alive(answer.responder, self.sim.now)
         handle = self._queries.get(answer.query_id)
         if handle is None or handle.finished:
             self.tracer.record(
@@ -353,6 +445,9 @@ class BestPeerNode:
                 last_answers=obs.answers,
                 last_hops=obs.hops,
                 total_answers=(existing.total_answers if existing else 0) + obs.answers,
+                timeouts=existing.timeouts if existing else 0,
+                suspect=existing.suspect if existing else False,
+                last_seen=existing.last_seen if existing else 0.0,
             )
             new_entries.append(entry)
         self.peers.replace_all(new_entries)
@@ -368,9 +463,18 @@ class BestPeerNode:
             )
 
     def _observations_from(self, handle: QueryHandle) -> list[PeerObservation]:
-        """Merge current peers and responders into strategy input."""
+        """Merge current peers and responders into strategy input.
+
+        Suspected-dead peers are left out, so the strategy can never
+        re-select them: their slots backfill with responders instead
+        (evict-and-backfill).  A suspect that answered this very query
+        was cleared by ``note_alive`` before this runs, so it competes
+        normally.
+        """
         merged: dict[BPID, PeerObservation] = {}
         for peer in self.peers.entries():
+            if peer.suspect:
+                continue
             merged[peer.bpid] = PeerObservation(
                 bpid=peer.bpid, address=peer.address, is_current=True
             )
@@ -456,6 +560,9 @@ class BestPeerNode:
             handle.local_result = self.storm.search_scan(keyword)
         code_targets: list[IPAddress] = []
         for peer in self.peers.entries():
+            if peer.suspect:
+                handle.mark_degraded("suspect-peer-skipped")
+                continue
             estimate = self._estimates.setdefault(peer.bpid, PeerEstimate())
             estimate.queries_seen += 1
             estimate.cached = peer.bpid in self._data_cache
@@ -473,9 +580,7 @@ class BestPeerNode:
             elif estimate.cached:
                 self._answer_from_cache(handle, peer.bpid, peer.address)
             else:
-                token = self._fetch_tokens.next()
-                self._pending_data[token] = (peer.bpid, handle)
-                self.host.send(peer.address, PROTO_DATA_REQUEST, DataRequest(token))
+                self._send_data_request(peer.bpid, handle, peer.address, failures=0)
         if code_targets:
             agent = StorMSearchAgent(
                 keyword,
@@ -552,12 +657,50 @@ class BestPeerNode:
         if self.host.online:
             self.host.send(dst, PROTO_DATA_REPLY, reply)
 
+    def _send_data_request(
+        self, bpid: BPID, handle: QueryHandle, address: IPAddress, failures: int
+    ) -> None:
+        token = self._fetch_tokens.next()
+        timer = self.sim.schedule(self.config.fetch_timeout, self._expire_data, token)
+        self._pending_data[token] = (bpid, handle, address, failures, timer)
+        self.host.send(address, PROTO_DATA_REQUEST, DataRequest(token))
+
+    def _retry_data(
+        self, bpid: BPID, handle: QueryHandle, address: IPAddress, failures: int
+    ) -> None:
+        if not self.host.online or handle.finished:
+            return
+        self._send_data_request(bpid, handle, address, failures)
+
+    def _expire_data(self, token: int) -> None:
+        pending = self._pending_data.pop(token, None)
+        if pending is None:
+            return
+        bpid, handle, address, failures, _timer = pending
+        failures += 1
+        self._charge_timeout("data", bpid)
+        if not handle.finished and self._retries_left(failures):
+            self.request_retries += 1
+            self.sim.schedule(
+                self._retry_after(failures), self._retry_data, bpid, handle, address, failures
+            )
+            return
+        if not handle.finished:
+            # Graceful degradation: the query completes with whatever
+            # other peers returned, flagged partial with the cause.
+            handle.mark_degraded("data-timeout")
+            self.tracer.record(
+                self.sim.now, "node", "data-timeout", node=self.name, peer=str(bpid)
+            )
+
     def _on_data_reply(self, packet: Packet) -> None:
         reply: DataReply = packet.payload
         pending = self._pending_data.pop(reply.token, None)
         if pending is None:
             return
-        bpid, handle = pending
+        bpid, handle, _address, _failures, timer = pending
+        timer.cancel()
+        self.peers.note_alive(bpid, self.sim.now)
         self._data_cache[bpid] = list(reply.objects)
         estimate = self._estimates.setdefault(bpid, PeerEstimate())
         estimate.store_bytes = reply.total_bytes
@@ -575,11 +718,36 @@ class BestPeerNode:
         rid: RecordId,
         callback: Callable[[FetchReply | None], None],
     ) -> None:
-        """Fetch one object directly from its holder (None on timeout)."""
+        """Fetch one object directly from its holder (None on timeout).
+
+        With a retry policy configured, a timed-out fetch re-sends per
+        the backoff schedule before the callback sees None.
+        """
+        self._send_fetch(holder, rid, callback, failures=0)
+
+    def _send_fetch(
+        self,
+        holder: IPAddress,
+        rid: RecordId,
+        callback: Callable[[FetchReply | None], None],
+        failures: int,
+    ) -> None:
         token = self._fetch_tokens.next()
-        self._pending_fetches[token] = callback
+        self._pending_fetches[token] = (callback, holder, rid, failures)
         self.host.send(holder, PROTO_FETCH, FetchRequest(token, rid))
         self.sim.schedule(self.config.fetch_timeout, self._expire_fetch, token)
+
+    def _retry_fetch(
+        self,
+        holder: IPAddress,
+        rid: RecordId,
+        callback: Callable[[FetchReply | None], None],
+        failures: int,
+    ) -> None:
+        if not self.host.online:
+            callback(None)
+            return
+        self._send_fetch(holder, rid, callback, failures)
 
     def _on_fetch(self, packet: Packet) -> None:
         request: FetchRequest = packet.payload
@@ -592,14 +760,28 @@ class BestPeerNode:
 
     def _on_fetch_reply(self, packet: Packet) -> None:
         reply: FetchReply = packet.payload
-        callback = self._pending_fetches.pop(reply.token, None)
-        if callback is not None:
-            callback(reply)
+        record = self._pending_fetches.pop(reply.token, None)
+        if record is None:
+            return
+        bpid = self._bpid_for_address(packet.src)
+        if bpid is not None:
+            self.peers.note_alive(bpid, self.sim.now)
+        record[0](reply)
 
     def _expire_fetch(self, token: int) -> None:
-        callback = self._pending_fetches.pop(token, None)
-        if callback is not None:
-            callback(None)
+        record = self._pending_fetches.pop(token, None)
+        if record is None:
+            return
+        callback, holder, rid, failures = record
+        failures += 1
+        self._charge_timeout("fetch", self._bpid_for_address(holder))
+        if self._retries_left(failures):
+            self.request_retries += 1
+            self.sim.schedule(
+                self._retry_after(failures), self._retry_fetch, holder, rid, callback, failures
+            )
+            return
+        callback(None)
 
     # -- active objects ---------------------------------------------------------------------
 
@@ -611,11 +793,34 @@ class BestPeerNode:
         callback: Callable[[ActiveReply | None], None],
     ) -> None:
         """Ask a peer's active object for content under ``credential``."""
+        self._send_active(owner, name, credential, callback, failures=0)
+
+    def _send_active(
+        self,
+        owner: IPAddress,
+        name: str,
+        credential: str,
+        callback: Callable[[ActiveReply | None], None],
+        failures: int,
+    ) -> None:
         token = self._fetch_tokens.next()
-        self._pending_actives[token] = callback
+        self._pending_actives[token] = (callback, owner, name, credential, failures)
         request = ActiveRequest(token, name, self.bpid, credential)
         self.host.send(owner, PROTO_ACTIVE, request)
         self.sim.schedule(self.config.fetch_timeout, self._expire_active, token)
+
+    def _retry_active(
+        self,
+        owner: IPAddress,
+        name: str,
+        credential: str,
+        callback: Callable[[ActiveReply | None], None],
+        failures: int,
+    ) -> None:
+        if not self.host.online:
+            callback(None)
+            return
+        self._send_active(owner, name, credential, callback, failures)
 
     def _on_active(self, packet: Packet) -> None:
         request: ActiveRequest = packet.payload
@@ -636,14 +841,34 @@ class BestPeerNode:
 
     def _on_active_reply(self, packet: Packet) -> None:
         reply: ActiveReply = packet.payload
-        callback = self._pending_actives.pop(reply.token, None)
-        if callback is not None:
-            callback(reply)
+        record = self._pending_actives.pop(reply.token, None)
+        if record is None:
+            return
+        bpid = self._bpid_for_address(packet.src)
+        if bpid is not None:
+            self.peers.note_alive(bpid, self.sim.now)
+        record[0](reply)
 
     def _expire_active(self, token: int) -> None:
-        callback = self._pending_actives.pop(token, None)
-        if callback is not None:
-            callback(None)
+        record = self._pending_actives.pop(token, None)
+        if record is None:
+            return
+        callback, owner, name, credential, failures = record
+        failures += 1
+        self._charge_timeout("active", self._bpid_for_address(owner))
+        if self._retries_left(failures):
+            self.request_retries += 1
+            self.sim.schedule(
+                self._retry_after(failures),
+                self._retry_active,
+                owner,
+                name,
+                credential,
+                callback,
+                failures,
+            )
+            return
+        callback(None)
 
     # -- introspection ------------------------------------------------------------------
 
@@ -661,6 +886,18 @@ class BestPeerNode:
             "direct_peers": len(self.peers),
             "cached_peer_datasets": len(self._data_cache),
             "known_hosts": len(self.knowledge),
+            # outstanding request tokens (leak auditing) and robustness
+            "pending_fetches": len(self._pending_fetches),
+            "pending_actives": len(self._pending_actives),
+            "pending_data": len(self._pending_data),
+            "pending_liglo": sum(self.liglo.pending_counts().values()),
+            "suspect_peers": len(self.peers.suspect_bpids()),
+            "queries_degraded": sum(
+                1 for handle in self._queries.values() if handle.degraded
+            ),
+            "request_timeouts": sum(self.request_timeouts.values()),
+            "request_retries": self.request_retries,
+            "liglo_retries": self.liglo.retries,
         }
         if self.engine is not None:
             stats["agents_executed"] = self.engine.agents_executed

@@ -27,6 +27,12 @@ class PeerInfo:
     last_hops: int | None = None
     #: lifetime answer total across queries
     total_answers: int = 0
+    #: consecutive request timeouts charged against this peer
+    timeouts: int = 0
+    #: suspected dead (timeouts crossed the threshold); floods skip it
+    suspect: bool = False
+    #: sim time of the last message received from this peer
+    last_seen: float = 0.0
 
 
 @dataclass
@@ -73,6 +79,50 @@ class PeerTable:
         if entry is None:
             raise PeerTableError(f"{bpid} is not a direct peer")
         entry.address = address
+
+    def discard(self, bpid: BPID) -> None:
+        """Drop a peer if present (no error when already gone)."""
+        self._entries.pop(bpid, None)
+
+    # -- liveness ----------------------------------------------------------------
+
+    def note_timeout(self, bpid: BPID, threshold: int) -> bool:
+        """Charge one request timeout against ``bpid``.
+
+        Returns True exactly when this timeout pushes the peer over
+        ``threshold`` consecutive timeouts, i.e. the peer *became*
+        suspect now.  Unknown BPIDs are ignored (the peer may have been
+        evicted while the request was in flight).
+        """
+        entry = self._entries.get(bpid)
+        if entry is None:
+            return False
+        entry.timeouts += 1
+        if not entry.suspect and entry.timeouts >= threshold:
+            entry.suspect = True
+            return True
+        return False
+
+    def note_alive(self, bpid: BPID, now: float) -> None:
+        """Any message from ``bpid`` clears suspicion and the timeout run."""
+        entry = self._entries.get(bpid)
+        if entry is None:
+            return
+        entry.timeouts = 0
+        entry.suspect = False
+        entry.last_seen = now
+
+    def suspect_bpids(self) -> list[BPID]:
+        """BPIDs currently suspected dead."""
+        return [bpid for bpid, entry in self._entries.items() if entry.suspect]
+
+    def live_entries(self) -> list[PeerInfo]:
+        """Peers not suspected dead, in insertion order."""
+        return [entry for entry in self._entries.values() if not entry.suspect]
+
+    def live_addresses(self) -> list[IPAddress]:
+        """Addresses of non-suspect peers (the degraded-mode fan-out)."""
+        return [entry.address for entry in self._entries.values() if not entry.suspect]
 
     # -- queries -----------------------------------------------------------------
 

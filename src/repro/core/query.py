@@ -39,6 +39,12 @@ class QueryHandle:
     local_result: SearchResult | None = None
     finished: bool = False
     finished_at: float | None = None
+    #: True when some responses were knowingly lost (the answer set is
+    #: partial but still returned — graceful degradation, never silence)
+    degraded: bool = False
+    #: degradation cause -> occurrence count (fetch-timeout, data-timeout,
+    #: suspect-peer-skipped, ...)
+    drop_causes: dict[str, int] = field(default_factory=dict)
     #: called with (handle, answer) on every arrival
     on_answer: Callable[["QueryHandle", AnswerMessage], None] | None = None
     #: called with (handle,) when the query finishes
@@ -53,6 +59,16 @@ class QueryHandle:
         self.arrival_times.append(now)
         if self.on_answer is not None:
             self.on_answer(self, answer)
+
+    def mark_degraded(self, cause: str) -> None:
+        """Record that part of this query's answer set was lost.
+
+        The query still completes with whatever arrived; ``degraded``
+        plus the per-cause counters tell the application (and the eval
+        reports) that the numbers are a lower bound.
+        """
+        self.degraded = True
+        self.drop_causes[cause] = self.drop_causes.get(cause, 0) + 1
 
     def mark_finished(self, now: float) -> None:
         if self.finished:

@@ -155,6 +155,18 @@ class NotRegisteredError(LigloError):
     """A node attempted an operation that requires prior registration."""
 
 
+class LigloUnreachableError(LigloError):
+    """Every (retried) attempt to reach a LIGLO server went unanswered.
+
+    Carries the number of attempts so callers — and tests — can confirm
+    the configured :class:`~repro.util.retry.RetryPolicy` was honoured.
+    """
+
+    def __init__(self, message: str, attempts: int = 1):
+        super().__init__(message)
+        self.attempts = attempts
+
+
 # ---------------------------------------------------------------------------
 # BestPeer core
 # ---------------------------------------------------------------------------
@@ -195,3 +207,24 @@ class WorkloadError(ReproError):
 
 class ExperimentError(ReproError):
     """Experiment harness misuse or inconsistent results."""
+
+
+# ---------------------------------------------------------------------------
+# Robustness: retries and fault injection
+# ---------------------------------------------------------------------------
+
+
+class RetryError(ReproError):
+    """Base class for retry-policy errors."""
+
+
+class RetryExhaustedError(RetryError):
+    """Every attempt a :class:`~repro.util.retry.RetryPolicy` allows failed."""
+
+    def __init__(self, message: str, attempts: int = 1):
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class FaultPlanError(ReproError):
+    """Invalid fault plan (unknown kind, unordered window, bad target...)."""

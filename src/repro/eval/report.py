@@ -84,18 +84,59 @@ def network_stats(network) -> dict[str, object]:
     hits = network.encode_hits
     misses = network.encode_misses
     total = hits + misses
-    return {
+    stats: dict[str, object] = {
         "packets_delivered": network.packets_delivered,
         "packets_dropped": network.packets_dropped,
         "bytes_carried": network.bytes_carried,
         "encode_hits": hits,
         "encode_misses": misses,
         "encode_hit_ratio": (hits / total) if total else 0.0,
+        "decode_errors": network.decode_errors,
     }
+    for reason in sorted(network.drops_by_reason):
+        stats[f"drops_{reason.replace('-', '_')}"] = network.drops_by_reason[reason]
+    return stats
 
 
 def format_network_stats(network) -> str:
     """Render one network's traffic/encoder counters as a text table."""
     stats = network_stats(network)
+    rows = [[key, value] for key, value in stats.items()]
+    return format_table(["counter", "value"], rows)
+
+
+def degradation_stats(nodes) -> dict[str, object]:
+    """Aggregate graceful-degradation counters across ``nodes``.
+
+    Sums each node's suspect peers, degraded queries, per-cause drop
+    counters, request timeouts, and retries — the dashboard for "the
+    network is hurting but still answering".
+    """
+    stats: dict[str, object] = {
+        "suspect_peers": 0,
+        "queries_degraded": 0,
+        "request_timeouts": 0,
+        "request_retries": 0,
+        "liglo_retries": 0,
+    }
+    causes: dict[str, int] = {}
+    for node in nodes:
+        stats["suspect_peers"] += len(node.peers.suspect_bpids())
+        stats["request_retries"] += node.request_retries
+        stats["liglo_retries"] += node.liglo.retries
+        stats["request_timeouts"] += sum(node.request_timeouts.values())
+        for handle in node._queries.values():
+            if handle.degraded:
+                stats["queries_degraded"] += 1
+            for cause, count in handle.drop_causes.items():
+                causes[cause] = causes.get(cause, 0) + count
+    for cause in sorted(causes):
+        stats[f"cause_{cause.replace('-', '_')}"] = causes[cause]
+    return stats
+
+
+def format_degradation_stats(nodes) -> str:
+    """Render aggregate degradation counters as a text table."""
+    stats = degradation_stats(nodes)
     rows = [[key, value] for key, value in stats.items()]
     return format_table(["counter", "value"], rows)

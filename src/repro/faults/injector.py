@@ -1,0 +1,197 @@
+"""Scheduling a :class:`~repro.faults.plan.FaultPlan` onto the sim kernel.
+
+The injector translates plan events into kernel timers against a built
+:class:`~repro.core.builder.BestPeerNetwork` (or any object exposing
+``sim``, ``network``, and named nodes/LIGLO servers).  Because the
+kernel is deterministic and every stochastic choice in the plan came
+from the seed, a faulted run replays bit-identically: same series, same
+bytes, same hops.
+
+Crash semantics follow the paper: a crashed *peer* releases its IP
+lease (dynamic IPs) and rejoins later under a fresh one, announcing to
+its LIGLO and refreshing peers; a crashed *LIGLO* keeps its address —
+its address is its identity — and simply goes dark for the outage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import (
+    KIND_LIGLO_DOWN,
+    KIND_LIGLO_UP,
+    KIND_LINK_WINDOW,
+    KIND_NODE_CRASH,
+    KIND_NODE_RESTART,
+    KIND_PARTITION,
+    KIND_PARTITION_HEAL,
+    FaultEvent,
+    FaultPlan,
+)
+from repro.util.tracing import NULL_TRACER, Tracer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.builder import BestPeerNetwork
+
+
+class SimFaultInjector:
+    """Applies a fault plan to one built deployment."""
+
+    def __init__(
+        self,
+        deployment: "BestPeerNetwork",
+        plan: FaultPlan,
+        tracer: Tracer | None = None,
+    ):
+        self.deployment = deployment
+        self.plan = plan
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self._nodes = {node.name: node for node in deployment.nodes}
+        self._liglo_hosts = {
+            server.host.name: server.host for server in deployment.liglo_servers
+        }
+        self._armed = False
+        #: events applied so far, by kind
+        self.applied: dict[str, int] = {}
+        #: events that found nothing to do (e.g. crash of an offline node)
+        self.skipped: dict[str, int] = {}
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self) -> None:
+        """Schedule every plan event relative to the current sim time."""
+        if self._armed:
+            raise FaultPlanError("fault plan is already armed")
+        self._validate()
+        self._armed = True
+        sim = self.deployment.sim
+        for event in self.plan:
+            sim.schedule(event.time, self._fire, event)
+
+    def _validate(self) -> None:
+        for event in self.plan:
+            if event.kind in (KIND_NODE_CRASH, KIND_NODE_RESTART):
+                if event.target not in self._nodes:
+                    raise FaultPlanError(f"plan names unknown node {event.target!r}")
+            elif event.kind in (KIND_LIGLO_DOWN, KIND_LIGLO_UP):
+                if event.target not in self._liglo_hosts:
+                    raise FaultPlanError(
+                        f"plan names unknown LIGLO host {event.target!r}"
+                    )
+
+    # -- event dispatch ----------------------------------------------------
+
+    def _fire(self, event: FaultEvent) -> None:
+        handler = {
+            KIND_NODE_CRASH: self._crash_node,
+            KIND_NODE_RESTART: self._restart_node,
+            KIND_LIGLO_DOWN: self._liglo_down,
+            KIND_LIGLO_UP: self._liglo_up,
+            KIND_PARTITION: self._partition,
+            KIND_PARTITION_HEAL: self._heal,
+            KIND_LINK_WINDOW: self._open_link_window,
+        }[event.kind]
+        if handler(event):
+            self.applied[event.kind] = self.applied.get(event.kind, 0) + 1
+        else:
+            self.skipped[event.kind] = self.skipped.get(event.kind, 0) + 1
+        self.tracer.record(
+            self.deployment.sim.now,
+            "fault",
+            event.kind,
+            target=event.target,
+        )
+
+    def _crash_node(self, event: FaultEvent) -> bool:
+        node = self._nodes[event.target]
+        if not node.host.online:
+            return False  # already down (overlapping sessions in the plan)
+        node.leave()
+        return True
+
+    def _restart_node(self, event: FaultEvent) -> bool:
+        node = self._nodes[event.target]
+        if node.host.online:
+            return False
+        # rejoin() honours the node's retry policy; a LIGLO that is down
+        # for the whole retry budget surfaces through on_failed, which
+        # here is absorbed: the node stays up with stale peers and the
+        # next reconfiguration (or rejoin) repairs it.
+        node.rejoin(on_failed=lambda exc: self.tracer.record(
+            self.deployment.sim.now,
+            "fault",
+            "rejoin-degraded",
+            target=event.target,
+            error=str(exc),
+        ))
+        return True
+
+    def _liglo_down(self, event: FaultEvent) -> bool:
+        host = self._liglo_hosts[event.target]
+        if not host.online:
+            return False
+        host.suspend()
+        return True
+
+    def _liglo_up(self, event: FaultEvent) -> bool:
+        host = self._liglo_hosts[event.target]
+        if not host.suspended:
+            return False
+        host.resume()
+        return True
+
+    def _partition(self, event: FaultEvent) -> bool:
+        groups = event.get("groups")
+        if not groups:
+            raise FaultPlanError("partition event carries no groups")
+        known = [
+            tuple(name for name in group if name in self.deployment.network.hosts)
+            for group in groups
+        ]
+        self.deployment.network.partition([g for g in known if g])
+        return True
+
+    def _heal(self, _event: FaultEvent) -> bool:
+        self.deployment.network.heal_partition()
+        return True
+
+    def _open_link_window(self, event: FaultEvent) -> bool:
+        network = self.deployment.network
+        duration = event.get("duration")
+        overrides = {}
+        if event.get("loss_probability") is not None:
+            overrides["loss_probability"] = event.get("loss_probability")
+        if event.get("latency") is not None:
+            overrides["latency"] = event.get("latency")
+        src_name = event.get("src")
+        if src_name is None:
+            saved = network.default_link
+            network.default_link = replace(saved, **overrides)
+            self.deployment.sim.schedule(
+                duration, self._close_default_window, saved
+            )
+            return True
+        src = network.hosts.get(src_name)
+        dst = network.hosts.get(event.get("dst"))
+        if src is None or dst is None or src.address is None or dst.address is None:
+            return False  # endpoint gone; the window is moot
+        pair = (src.address, dst.address)
+        previous = network._links.get(pair)
+        base = previous if previous is not None else network.default_link
+        network.set_link(*pair, replace(base, **overrides))
+        self.deployment.sim.schedule(
+            duration, self._close_pair_window, pair, previous
+        )
+        return True
+
+    def _close_default_window(self, saved) -> None:
+        self.deployment.network.default_link = saved
+
+    def _close_pair_window(self, pair, previous) -> None:
+        network = self.deployment.network
+        if previous is None:
+            network.clear_link(*pair)
+        else:
+            network.set_link(*pair, previous)

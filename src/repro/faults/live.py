@@ -1,0 +1,102 @@
+"""Applying fault plans to the live (socket/thread) runtime.
+
+The live engine has no event kernel to replay against, so the shim
+trades bit-identical timing for *plan* determinism: the same seed still
+yields the same event list with the same relative times; only the
+wall-clock interleaving varies.  Events fire on ``threading.Timer``
+threads against caller-supplied handlers, which keeps the shim free of
+any dependency on live classes — tests and demos register exactly the
+handlers they need.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable
+
+from repro.errors import FaultPlanError
+from repro.faults.plan import FaultEvent, FaultPlan
+
+Handler = Callable[[FaultEvent], Any]
+
+
+class LiveFaultShim:
+    """Thread-timer scheduler for a :class:`FaultPlan`.
+
+    Usage::
+
+        shim = LiveFaultShim(plan)
+        shim.on("node-crash", lambda e: peers[e.target].close())
+        shim.on("node-restart", lambda e: restart(e.target))
+        shim.start()
+        ...
+        shim.stop()   # cancels anything still pending
+
+    ``time_scale`` compresses the plan's simulated seconds into wall
+    time (0.1 → a 30 s plan runs in 3 s), so fault batteries stay fast.
+    """
+
+    def __init__(self, plan: FaultPlan, time_scale: float = 1.0):
+        if time_scale <= 0:
+            raise FaultPlanError(f"time_scale must be > 0, got {time_scale}")
+        self.plan = plan
+        self.time_scale = time_scale
+        self._handlers: dict[str, Handler] = {}
+        self._timers: list[threading.Timer] = []
+        self._lock = threading.Lock()
+        self._started = False
+        #: events fired so far, by kind (guarded by the lock)
+        self.fired: dict[str, int] = {}
+        #: (event, exception) pairs from handlers that raised
+        self.errors: list[tuple[FaultEvent, BaseException]] = []
+        #: set once every plan event has fired
+        self.drained = threading.Event()
+        self._remaining = len(plan)
+        if self._remaining == 0:
+            self.drained.set()
+
+    def on(self, kind: str, handler: Handler) -> "LiveFaultShim":
+        """Register ``handler`` for events of ``kind`` (chainable)."""
+        self._handlers[kind] = handler
+        return self
+
+    def start(self) -> None:
+        """Arm a timer per plan event.  Unhandled kinds fire as no-ops."""
+        with self._lock:
+            if self._started:
+                raise FaultPlanError("live fault shim already started")
+            self._started = True
+            for event in self.plan:
+                timer = threading.Timer(
+                    event.time * self.time_scale, self._fire, args=(event,)
+                )
+                timer.daemon = True
+                self._timers.append(timer)
+                timer.start()
+
+    def _fire(self, event: FaultEvent) -> None:
+        handler = self._handlers.get(event.kind)
+        try:
+            if handler is not None:
+                handler(event)
+        except BaseException as exc:  # noqa: BLE001 - surfaced via .errors
+            with self._lock:
+                self.errors.append((event, exc))
+        finally:
+            with self._lock:
+                self.fired[event.kind] = self.fired.get(event.kind, 0) + 1
+                self._remaining -= 1
+                if self._remaining == 0:
+                    self.drained.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until every event has fired (True) or ``timeout`` lapses."""
+        return self.drained.wait(timeout)
+
+    def stop(self) -> None:
+        """Cancel pending timers; already-running handlers finish."""
+        with self._lock:
+            timers = list(self._timers)
+            self._timers.clear()
+        for timer in timers:
+            timer.cancel()

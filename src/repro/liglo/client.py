@@ -3,19 +3,29 @@
 All operations are asynchronous (this is a discrete-event world): the
 caller passes a callback, and the client correlates replies to requests
 with tokens, handling timeouts for requests whose LIGLO never answers.
+
+With a :class:`~repro.util.retry.RetryPolicy` attached, a timed-out
+register or resolve is re-sent (fresh token) after the policy's backoff
+before the caller ever hears about it, and :meth:`announce_verified`
+turns the fire-and-forget announce into a confirmed exchange — retry
+until our LIGLO resolves us back, or surface
+:class:`~repro.errors.LigloUnreachableError`.  Without a policy every
+exchange stays single-shot, byte-identical to the legacy behaviour.
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
-from repro.errors import LigloError
+from repro.errors import LigloError, LigloUnreachableError
 from repro.ids import BPID, SerialCounter
 from repro.liglo import messages as m
 from repro.net.address import IPAddress
 from repro.net.message import Packet
 from repro.net.network import Host
+from repro.util.retry import RetryPolicy
 from repro.util.tracing import NULL_TRACER, Tracer
 
 #: How long to wait for a LIGLO reply before giving up (seconds).
@@ -41,17 +51,36 @@ class LigloClient:
         host: Host,
         timeout: float = DEFAULT_TIMEOUT,
         tracer: Tracer | None = None,
+        retry_policy: RetryPolicy | None = None,
+        rng: random.Random | None = None,
     ):
         self.host = host
         self.timeout = timeout
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.retry_policy = retry_policy
+        self.rng = rng
         self.bpid: BPID | None = None
         self._tokens = SerialCounter()
-        self._pending_registers: dict[int, Callable[[RegistrationResult], None]] = {}
-        self._pending_resolves: dict[int, Callable[[m.ResolveReply | None], None]] = {}
+        #: token -> (callback, liglo address, failures so far)
+        self._pending_registers: dict[
+            int, tuple[Callable[[RegistrationResult], None], IPAddress, int]
+        ] = {}
+        #: token -> (callback, target bpid, failures so far, retry enabled)
+        self._pending_resolves: dict[
+            int, tuple[Callable[[m.ResolveReply | None], None], BPID, int, bool]
+        ] = {}
+        #: re-sends triggered by the retry policy
+        self.retries = 0
         host.bind(m.PROTO_REGISTER_REPLY, self._on_register_reply)
         host.bind(m.PROTO_RESOLVE_REPLY, self._on_resolve_reply)
         host.bind(m.PROTO_PING, self._on_ping)
+
+    def pending_counts(self) -> dict[str, int]:
+        """Outstanding request tokens by kind (leak auditing)."""
+        return {
+            "registers": len(self._pending_registers),
+            "resolves": len(self._pending_resolves),
+        }
 
     # -- registration -------------------------------------------------------------
 
@@ -60,11 +89,39 @@ class LigloClient:
         liglo_address: IPAddress,
         callback: Callable[[RegistrationResult], None],
     ) -> None:
-        """Ask one LIGLO server for a BPID; the callback gets the outcome."""
+        """Ask one LIGLO server for a BPID; the callback gets the outcome.
+
+        With a retry policy, a timed-out request is re-sent (fresh
+        token) up to ``max_attempts`` times before the callback sees the
+        failure.
+        """
+        self._send_register(liglo_address, callback, failures=0)
+
+    def _send_register(
+        self,
+        liglo_address: IPAddress,
+        callback: Callable[[RegistrationResult], None],
+        failures: int,
+    ) -> None:
         token = self._tokens.next()
-        self._pending_registers[token] = callback
+        self._pending_registers[token] = (callback, liglo_address, failures)
         self.host.send(liglo_address, m.PROTO_REGISTER, m.RegisterRequest(token))
         self.host.sim.schedule(self.timeout, self._expire_register, token)
+
+    def _retry_register(
+        self,
+        liglo_address: IPAddress,
+        callback: Callable[[RegistrationResult], None],
+        failures: int,
+    ) -> None:
+        if not self.host.online:
+            callback(
+                RegistrationResult(
+                    accepted=False, reason="host went offline during retry"
+                )
+            )
+            return
+        self._send_register(liglo_address, callback, failures)
 
     def register_any(
         self,
@@ -97,9 +154,10 @@ class LigloClient:
 
     def _on_register_reply(self, packet: Packet) -> None:
         reply: m.RegisterReply = packet.payload
-        callback = self._pending_registers.pop(reply.token, None)
-        if callback is None:
+        record = self._pending_registers.pop(reply.token, None)
+        if record is None:
             return  # arrived after timeout
+        callback, _, _ = record
         result = RegistrationResult(
             accepted=reply.accepted,
             bpid=reply.bpid,
@@ -115,11 +173,23 @@ class LigloClient:
         callback(result)
 
     def _expire_register(self, token: int) -> None:
-        callback = self._pending_registers.pop(token, None)
-        if callback is not None:
-            callback(
-                RegistrationResult(accepted=False, reason="registration timed out")
+        record = self._pending_registers.pop(token, None)
+        if record is None:
+            return
+        callback, liglo_address, failures = record
+        failures += 1
+        if self.retry_policy is not None and self.retry_policy.should_retry(failures):
+            self.retries += 1
+            self.tracer.bump("liglo", "register-retry")
+            self.host.sim.schedule(
+                self.retry_policy.delay(failures, self.rng),
+                self._retry_register,
+                liglo_address,
+                callback,
+                failures,
             )
+            return
+        callback(RegistrationResult(accepted=False, reason="registration timed out"))
 
     # -- announcements -------------------------------------------------------------
 
@@ -130,6 +200,76 @@ class LigloClient:
         self.host.send(
             IPAddress(self.bpid.liglo_id), m.PROTO_ANNOUNCE, m.Announce(self.bpid)
         )
+
+    def announce_verified(
+        self,
+        on_ok: Callable[[], None] | None = None,
+        on_failed: Callable[[LigloUnreachableError], None] | None = None,
+    ) -> None:
+        """Announce and *confirm* it took, by resolving our own BPID.
+
+        The announce message itself is fire-and-forget (no reply on the
+        wire), so confirmation reuses the existing resolve exchange: our
+        LIGLO answering with our current address proves the announce
+        landed.  With a retry policy the announce+verify round repeats
+        per the backoff schedule; once attempts run out,
+        ``on_failed`` receives a
+        :class:`~repro.errors.LigloUnreachableError` — or, with no
+        ``on_failed``, the error raises inside the event loop and aborts
+        the run (which is exactly what an unhandled outage should do in
+        an experiment).
+        """
+        if self.bpid is None:
+            raise LigloError("cannot announce before registration")
+        self._verify_announce(0, on_ok, on_failed)
+
+    def _verify_announce(
+        self,
+        failures: int,
+        on_ok: Callable[[], None] | None,
+        on_failed: Callable[[LigloUnreachableError], None] | None,
+    ) -> None:
+        if not self.host.online:
+            return  # crashed mid-retry; the next rejoin restarts the exchange
+        self.announce()
+        assert self.bpid is not None
+
+        def check(reply: m.ResolveReply | None) -> None:
+            if (
+                reply is not None
+                and reply.online
+                and reply.address == self.host.address
+            ):
+                self.tracer.record(
+                    self.host.sim.now, "liglo", "announce-verified", bpid=str(self.bpid)
+                )
+                if on_ok is not None:
+                    on_ok()
+                return
+            fails = failures + 1
+            if self.retry_policy is not None and self.retry_policy.should_retry(fails):
+                self.retries += 1
+                self.tracer.bump("liglo", "announce-retry")
+                self.host.sim.schedule(
+                    self.retry_policy.delay(fails, self.rng),
+                    self._verify_announce,
+                    fails,
+                    on_ok,
+                    on_failed,
+                )
+                return
+            error = LigloUnreachableError(
+                f"LIGLO {self.bpid.liglo_id} unreachable: announce unverified "
+                f"after {fails} attempt(s)",
+                attempts=fails,
+            )
+            if on_failed is not None:
+                on_failed(error)
+            else:
+                raise error
+
+        # Single-shot resolve: the verify loop owns the retry budget.
+        self._send_resolve(self.bpid, check, failures=0, retry=False)
 
     # -- resolution -----------------------------------------------------------------
 
@@ -142,25 +282,64 @@ class LigloClient:
 
         The LIGLO's address is recoverable from the BPID itself ("p's
         registered LIGLO can be obtained from p's BPID").  The callback
-        receives the reply, or None on timeout.
+        receives the reply, or None on timeout (after the retry policy's
+        re-sends, when one is attached).
         """
+        self._send_resolve(bpid, callback, failures=0, retry=True)
+
+    def _send_resolve(
+        self,
+        bpid: BPID,
+        callback: Callable[[m.ResolveReply | None], None],
+        failures: int,
+        retry: bool,
+    ) -> None:
         token = self._tokens.next()
-        self._pending_resolves[token] = callback
+        self._pending_resolves[token] = (callback, bpid, failures, retry)
         self.host.send(
             IPAddress(bpid.liglo_id), m.PROTO_RESOLVE, m.ResolveRequest(token, bpid)
         )
         self.host.sim.schedule(self.timeout, self._expire_resolve, token)
 
+    def _retry_resolve(
+        self,
+        bpid: BPID,
+        callback: Callable[[m.ResolveReply | None], None],
+        failures: int,
+    ) -> None:
+        if not self.host.online:
+            callback(None)
+            return
+        self._send_resolve(bpid, callback, failures, retry=True)
+
     def _on_resolve_reply(self, packet: Packet) -> None:
         reply: m.ResolveReply = packet.payload
-        callback = self._pending_resolves.pop(reply.token, None)
-        if callback is not None:
-            callback(reply)
+        record = self._pending_resolves.pop(reply.token, None)
+        if record is not None:
+            record[0](reply)
 
     def _expire_resolve(self, token: int) -> None:
-        callback = self._pending_resolves.pop(token, None)
-        if callback is not None:
-            callback(None)
+        record = self._pending_resolves.pop(token, None)
+        if record is None:
+            return
+        callback, bpid, failures, retry = record
+        failures += 1
+        if (
+            retry
+            and self.retry_policy is not None
+            and self.retry_policy.should_retry(failures)
+        ):
+            self.retries += 1
+            self.tracer.bump("liglo", "resolve-retry")
+            self.host.sim.schedule(
+                self.retry_policy.delay(failures, self.rng),
+                self._retry_resolve,
+                bpid,
+                callback,
+                failures,
+            )
+            return
+        callback(None)
 
     # -- validity probes ---------------------------------------------------------------
 

@@ -71,6 +71,7 @@ class LigloServer:
         self._ping_serials = SerialCounter()
         self._pending_pings: dict[int, int] = {}  # ping token -> node_id
         self.registrations_rejected = 0
+        self.ping_timeouts = 0
         host.bind(m.PROTO_REGISTER, self._on_register)
         host.bind(m.PROTO_ANNOUNCE, self._on_announce)
         host.bind(m.PROTO_RESOLVE, self._on_resolve)
@@ -185,6 +186,7 @@ class LigloServer:
         node_id = self._pending_pings.pop(token, None)
         if node_id is None:
             return  # the pong made it in time
+        self.ping_timeouts += 1
         entry = self.members.get(node_id)
         if entry is not None:
             entry.online = False
@@ -196,6 +198,18 @@ class LigloServer:
 
     def member_count(self) -> int:
         return len(self.members)
+
+    def stats(self) -> dict[str, int]:
+        """Operational counters, including outstanding ping tokens."""
+        return {
+            "members": len(self.members),
+            "online_members": sum(
+                1 for entry in self.members.values() if entry.online
+            ),
+            "pending_pings": len(self._pending_pings),
+            "ping_timeouts": self.ping_timeouts,
+            "registrations_rejected": self.registrations_rejected,
+        }
 
     def lookup(self, bpid: BPID) -> MemberEntry | None:
         """Local (non-network) lookup of a member entry."""

@@ -72,13 +72,17 @@ class LivePeer:
         storm: StorM | None = None,
         max_peers: int = 8,
         port: int = 0,
+        loss_probability: float = 0.0,
+        loss_seed: int = 0,
     ):
         if max_peers < 1:
             raise BestPeerError(f"max_peers must be >= 1, got {max_peers}")
         self.name = name
         self.max_peers = max_peers
         self.storm = storm if storm is not None else StorM()
-        self.endpoint = LiveEndpoint(port=port)
+        self.endpoint = LiveEndpoint(
+            port=port, loss_probability=loss_probability, loss_seed=loss_seed
+        )
         self.bpid = BPID("live", LivePeer._identity_counter.next())
         self._lock = threading.RLock()
         self._peers: dict[BPID, LiveAddress] = {}
@@ -114,21 +118,60 @@ class LivePeer:
 
     # -- LIGLO (live) ---------------------------------------------------------------
 
-    def register_with(self, liglo: LiveAddress, timeout: float = 5.0) -> bool:
+    def register_with(
+        self,
+        liglo: LiveAddress,
+        timeout: float = 5.0,
+        retry_policy=None,
+        rng=None,
+        sleep=None,
+    ) -> bool:
         """Register at a live LIGLO server; adopts its BPID and peers.
 
         Call before wiring peers or issuing queries — the identity this
         peer presents on the wire changes to the LIGLO-issued one.
         Returns False on rejection or timeout (the self-assigned
         identity stays in that case).
+
+        With a :class:`~repro.util.retry.RetryPolicy`, a *timed-out*
+        registration is retried per the backoff schedule, and an
+        unreachable LIGLO surfaces as a typed
+        :class:`~repro.errors.LigloUnreachableError` instead of a bare
+        False.  Rejections (capacity) still return False immediately —
+        the server answered; retrying will not change its mind.
         """
         from repro.live.liglo import LiveLigloClient
 
         if self._liglo_client is None:
             self._liglo_client = LiveLigloClient(self.endpoint)
-        bpid, peers, _reason = self._liglo_client.register(liglo, timeout=timeout)
-        if bpid is None:
-            return False
+        if retry_policy is None:
+            bpid, peers, _reason = self._liglo_client.register(liglo, timeout=timeout)
+            if bpid is None:
+                return False
+        else:
+            from repro.errors import LigloUnreachableError
+
+            failures = 0
+            if sleep is None:
+                import time
+
+                sleep = time.sleep
+            while True:
+                bpid, peers, reason = self._liglo_client.register(
+                    liglo, timeout=timeout
+                )
+                if bpid is not None:
+                    break
+                if reason != "registration timed out":
+                    return False  # an answered rejection, not an outage
+                failures += 1
+                if not retry_policy.should_retry(failures):
+                    raise LigloUnreachableError(
+                        f"LIGLO at {tuple(liglo)} unreachable after "
+                        f"{failures} attempt(s)",
+                        attempts=failures,
+                    )
+                sleep(retry_policy.delay(failures, rng))
         with self._lock:
             self.bpid = bpid
             self.engine.local_bpid = bpid

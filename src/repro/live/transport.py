@@ -26,6 +26,7 @@ it in :attr:`LiveEndpoint.decode_errors` instead of dying.
 
 from __future__ import annotations
 
+import random
 import socket
 import struct
 import threading
@@ -41,6 +42,8 @@ from repro.net.codec import (
     wire_codec_mode,
 )
 from repro.util.compression import DEFAULT_CODEC, Codec
+from repro.util.randomness import derive_rng
+from repro.util.retry import RetryPolicy
 from repro.util.serialization import deserialize, serialize
 
 #: (host, port) of a live peer
@@ -129,8 +132,21 @@ class LiveEndpoint:
         host: str = "127.0.0.1",
         port: int = 0,
         codec: Codec | None = None,
+        loss_probability: float = 0.0,
+        loss_seed: int = 0,
     ):
+        if not 0.0 <= loss_probability <= 1.0:
+            raise NetworkError(
+                f"loss_probability must be in [0, 1], got {loss_probability}"
+            )
         self.codec = codec if codec is not None else DEFAULT_CODEC
+        # Fault injection: drop this fraction of *incoming* messages after
+        # the frame is read (the bytes crossed the wire; delivery failed).
+        # The stream is seed-derived so live fault batteries replay the
+        # same drop decisions in the same arrival order.
+        self.loss_probability = loss_probability
+        self._loss_rng = derive_rng(loss_seed, "live-loss", host, port)
+        self._loss_lock = threading.Lock()
         # Incoming compact frames may name message types this process has
         # not constructed yet; resolve every registered type id up front.
         load_registrations()
@@ -150,6 +166,8 @@ class LiveEndpoint:
         self.messages_sent = 0
         self.messages_received = 0
         self.decode_errors = 0
+        self.loss_drops = 0
+        self.send_retries = 0
 
     # -- binding -----------------------------------------------------------------
 
@@ -189,6 +207,32 @@ class LiveEndpoint:
         except NetworkError:
             return False
 
+    def send_with_retry(
+        self,
+        dst: LiveAddress,
+        protocol: str,
+        payload: Any,
+        policy: RetryPolicy,
+        rng: random.Random | None = None,
+        sleep: Callable[[float], None] | None = None,
+    ) -> None:
+        """Send, retrying connection failures per ``policy``'s backoff.
+
+        Raises :class:`~repro.errors.RetryExhaustedError` once attempts
+        run out.  Counts re-sends in :attr:`send_retries`.
+        """
+        from repro.util.retry import retry_call
+
+        failures_before = [0]
+
+        def attempt() -> None:
+            if failures_before[0] > 0:
+                self.send_retries += 1
+            failures_before[0] += 1
+            self.send(dst, protocol, payload)
+
+        retry_call(attempt, policy, rng=rng, sleep=sleep, retry_on=(NetworkError,))
+
     # -- receiving ------------------------------------------------------------------
 
     def _accept_loop(self) -> None:
@@ -217,6 +261,12 @@ class LiveEndpoint:
                     if frame is None:
                         return
                     protocol, payload = frame
+                if self.loss_probability > 0.0:
+                    with self._loss_lock:
+                        lost = self._loss_rng.random() < self.loss_probability
+                    if lost:
+                        self.loss_drops += 1
+                        return
                 self.messages_received += 1
                 with self._handlers_lock:
                     handler = self._handlers.get(protocol)

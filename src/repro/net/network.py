@@ -15,7 +15,7 @@ timeouts on top, exactly as the paper's LIGLO validity checks do.
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from repro.errors import (
     HostOffline,
@@ -58,11 +58,14 @@ class Host:
         self.dispatch_time = dispatch_time
         self.address: IPAddress | None = None
         self.online = False
+        #: down-but-holding-its-lease (a crashed fixed-IP server, not churn)
+        self.suspended = False
         self._handlers: dict[str, Callable[[Packet], None]] = {}
         #: counters
         self.messages_sent = 0
         self.bytes_sent = 0
         self.messages_received = 0
+        self.sends_while_down = 0
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -88,6 +91,33 @@ class Host:
         self.network._release_address(self)
         self.address = None
         self.online = False
+
+    def suspend(self) -> None:
+        """Go dark *without* releasing the address lease.
+
+        Models the crash of a fixed-IP machine (a LIGLO server, whose
+        address *is* its identity): packets to it drop while it is down,
+        and :meth:`resume` brings it back at the same address.  Churning
+        peers use :meth:`disconnect`/:meth:`connect` instead, which is
+        the paper's dynamic-IP story.
+        """
+        if not self.online:
+            raise NetworkError(f"host {self.name} is not online; cannot suspend")
+        self.online = False
+        self.suspended = True
+        self.network.tracer.record(
+            self.sim.now, "net", "suspend", host=self.name, address=str(self.address)
+        )
+
+    def resume(self) -> None:
+        """Come back up at the address held through :meth:`suspend`."""
+        if not self.suspended:
+            raise NetworkError(f"host {self.name} is not suspended")
+        self.online = True
+        self.suspended = False
+        self.network.tracer.record(
+            self.sim.now, "net", "resume", host=self.name, address=str(self.address)
+        )
 
     # -- protocol binding ---------------------------------------------------
 
@@ -115,6 +145,13 @@ class Host:
         own copy of the send-time bytes on delivery — never a shared
         object — and dropped packets skip that work entirely.
         """
+        if self.suspended:
+            # A crashed machine's still-scheduled housekeeping (e.g. a
+            # LIGLO validity sweep) fires into the void: swallow the
+            # send rather than abort the run — the machine is down.
+            self.sends_while_down += 1
+            self.network.tracer.bump("net", "send-while-down")
+            return 0
         if not self.online or self.address is None:
             raise HostOffline(f"host {self.name} cannot send while offline")
         encoded = self.network.encoder.encode(payload)
@@ -199,11 +236,15 @@ class Network:
         self.hosts: dict[str, Host] = {}
         self._routes: dict[IPAddress, Host] = {}
         self._links: dict[tuple[IPAddress, IPAddress], LinkModel] = {}
+        #: host name -> partition group id; empty means no partition
+        self._partition: dict[str, int] = {}
         #: counters
         self.packets_delivered = 0
         self.packets_dropped = 0
         self.bytes_carried = 0
         self.decode_errors = 0
+        #: per-cause drop counts (loss, partition, no-route, ...)
+        self.drops_by_reason: dict[str, int] = {}
 
     @property
     def encode_hits(self) -> int:
@@ -257,6 +298,56 @@ class Network:
         """Override the link model for one directed address pair."""
         self._links[(src, dst)] = link
 
+    def clear_link(self, src: IPAddress, dst: IPAddress) -> None:
+        """Drop a per-pair link override (back to the default link)."""
+        self._links.pop((src, dst), None)
+
+    # -- partitions -----------------------------------------------------------
+
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        """Split the fabric: packets between different groups drop.
+
+        ``groups`` are host *names* (stable across address churn).  A
+        host named in no group keeps full connectivity — a partition of
+        the overlay need not mention the infrastructure.  Replaces any
+        partition already in force.
+        """
+        assignment: dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                if name in assignment:
+                    raise NetworkError(f"host {name!r} named in two partition groups")
+                if name not in self.hosts:
+                    raise NetworkError(f"unknown host {name!r} in partition")
+                assignment[name] = index
+        self._partition = assignment
+        self.tracer.record(
+            self.sim.now, "net", "partition", groups=len(groups), hosts=len(assignment)
+        )
+
+    def heal_partition(self) -> None:
+        """Restore full connectivity (idempotent)."""
+        if self._partition:
+            self.tracer.record(self.sim.now, "net", "heal-partition")
+        self._partition = {}
+
+    @property
+    def partitioned(self) -> bool:
+        return bool(self._partition)
+
+    def _crosses_partition(self, src: IPAddress, dst: IPAddress) -> bool:
+        if not self._partition:
+            return False
+        src_host = self._routes.get(src)
+        dst_host = self._routes.get(dst)
+        if src_host is None or dst_host is None:
+            return False  # no-route handles it
+        src_group = self._partition.get(src_host.name)
+        dst_group = self._partition.get(dst_host.name)
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
     # -- delivery ------------------------------------------------------------
 
     def _propagate(self, packet: Packet, link: LinkModel) -> None:
@@ -275,6 +366,9 @@ class Network:
         ):
             self._drop(packet, reason="loss")
             return
+        if self._crosses_partition(packet.src, packet.dst):
+            self._drop(packet, reason="partition")
+            return
         self.sim.schedule(link.latency, self._deliver, packet)
 
     def _deliver(self, packet: Packet) -> None:
@@ -282,8 +376,11 @@ class Network:
         if host is None:
             self._drop(packet, reason="no-route")
             return
-        if not host.online or host.address != packet.dst:
+        if host.address != packet.dst:
             self._drop(packet, reason="stale-address")
+            return
+        if not host.online:
+            self._drop(packet, reason="host-down" if host.suspended else "stale-address")
             return
         self.packets_delivered += 1
         self.bytes_carried += packet.wire_size
@@ -291,6 +388,9 @@ class Network:
 
     def _drop(self, packet: Packet, reason: str) -> None:
         self.packets_dropped += 1
+        self.drops_by_reason[reason] = self.drops_by_reason.get(reason, 0) + 1
+        if reason == "loss":
+            self.tracer.bump("net", "loss")
         self.tracer.record(
             self.sim.now,
             "net",
@@ -303,6 +403,9 @@ class Network:
     def _drop_undecodable(self, packet: Packet, error: WireDecodeError) -> None:
         """A delivered packet's frame failed to decode: drop and count."""
         self.decode_errors += 1
+        self.drops_by_reason["decode-error"] = (
+            self.drops_by_reason.get("decode-error", 0) + 1
+        )
         self.tracer.bump("net", "decode-error")
         self.tracer.record(
             self.sim.now,

@@ -192,6 +192,42 @@ def test_32_node_flood_identical_compact_vs_pickle(monkeypatch):
     assert _flood_observables() == compact
 
 
+def _faulted_observables(runner) -> tuple:
+    """The churn figure at a nonzero rate: faults fire mid-run, yet the
+    seeded timeline must leave serial and parallel runs bit-identical."""
+    from repro.eval.churn import figure_churn
+
+    params = FigureParams(objects_per_node=0, queries=2, seed=0)
+    result = figure_churn(
+        params, node_count=8, churn_rates=(0.5,), runner=runner
+    )
+    trials = figure_churn.last_trials
+    return (
+        result.series,
+        [
+            (
+                t["scheme"],
+                tuple(t["recalls"]),
+                tuple(t["answer_hops"]),
+                t["bytes_carried"],
+                t["packets_delivered"],
+                tuple(sorted(t["drops_by_reason"].items())),
+                tuple(sorted(t["faults_applied"].items())),
+            )
+            for t in trials
+        ],
+    )
+
+
+def test_faulted_series_identical_serial_vs_parallel():
+    # Fault injection must not break the fast-path contract: a nonzero
+    # FaultPlan replays identically under the default, serial, and
+    # parallel runners.
+    default = _faulted_observables(None)
+    assert _faulted_observables(ExperimentRunner()) == default
+    assert _faulted_observables(ParallelExperimentRunner(jobs=2)) == default
+
+
 def test_encoder_cache_actually_hits_during_flood():
     # A star base floods one envelope object to every peer.  The first
     # query ships per-peer class source (distinct envelopes); once the

@@ -1,0 +1,108 @@
+"""The churn figure replays bit-identically from its seed.
+
+This is the acceptance test for the fault subsystem: a fault plan with
+node churn, a LIGLO outage, and a transient partition produces the
+*same* rich observables — recall series, per-answer hop counts, bytes
+on the wire, drop counters, fault application counts — on every run
+with the same seed, serially and under the parallel runner.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.eval.churn import churn_trial, figure_churn
+from repro.eval.experiment import ExperimentRunner, ParallelExperimentRunner
+from repro.eval.figures import FigureParams
+
+PARAMS = FigureParams(objects_per_node=0, queries=2, seed=0)
+NODE_COUNT = 8
+RATES = (0.0, 0.5)
+
+
+def _observables(trials):
+    """Everything a replay must reproduce exactly."""
+    return [
+        (
+            t["scheme"],
+            t["rate"],
+            tuple(t["recalls"]),
+            tuple(t["answer_hops"]),
+            t["bytes_carried"],
+            t["packets_delivered"],
+            t["packets_dropped"],
+            tuple(sorted(t["drops_by_reason"].items())),
+            tuple(sorted(t["faults_applied"].items())),
+            t["degraded_queries"],
+        )
+        for t in trials
+    ]
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    result = figure_churn(PARAMS, node_count=NODE_COUNT, churn_rates=RATES)
+    return result.series, _observables(figure_churn.last_trials)
+
+
+class TestSeededReplay:
+    def test_second_run_is_bit_identical(self, baseline):
+        series, observables = baseline
+        again = figure_churn(PARAMS, node_count=NODE_COUNT, churn_rates=RATES)
+        assert again.series == series
+        assert _observables(figure_churn.last_trials) == observables
+
+    def test_serial_runner_matches(self, baseline):
+        series, observables = baseline
+        result = figure_churn(
+            PARAMS,
+            node_count=NODE_COUNT,
+            churn_rates=RATES,
+            runner=ExperimentRunner(),
+        )
+        assert result.series == series
+        assert _observables(figure_churn.last_trials) == observables
+
+    def test_parallel_runner_matches(self, baseline):
+        series, observables = baseline
+        result = figure_churn(
+            PARAMS,
+            node_count=NODE_COUNT,
+            churn_rates=RATES,
+            runner=ParallelExperimentRunner(jobs=2),
+        )
+        assert result.series == series
+        assert _observables(figure_churn.last_trials) == observables
+
+    def test_different_seed_changes_fault_timeline(self, baseline):
+        _series, observables = baseline
+        figure_churn(
+            FigureParams(objects_per_node=0, queries=2, seed=1),
+            node_count=NODE_COUNT,
+            churn_rates=RATES,
+        )
+        assert _observables(figure_churn.last_trials) != observables
+
+
+class TestShape:
+    def test_healthy_network_answers_in_full(self, baseline):
+        series, _ = baseline
+        for name in ("BPR", "BPS"):
+            points = dict(series[name])
+            assert points[0.0] == 1.0
+
+    def test_faults_fired_at_nonzero_rate(self, baseline):
+        _, observables = baseline
+        for o in observables:
+            faults = dict(o[8])
+            if o[1] == 0.0:
+                assert faults == {}
+            else:
+                assert faults.get("node-crash", 0) >= 1
+                assert faults.get("liglo-down", 0) == 1
+                assert faults.get("partition", 0) == 1
+
+    def test_trial_is_directly_replayable(self):
+        a = churn_trial(("BPR", 0.5, NODE_COUNT, PARAMS))
+        b = churn_trial(("BPR", 0.5, NODE_COUNT, PARAMS))
+        assert a == b

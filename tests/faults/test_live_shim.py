@@ -1,0 +1,87 @@
+"""Tests for the thread-timer fault shim used by the live runtime."""
+
+import threading
+
+import pytest
+
+from repro.errors import FaultPlanError
+from repro.faults import FaultEvent, FaultPlan, LiveFaultShim
+from repro.faults.plan import KIND_NODE_CRASH, KIND_NODE_RESTART
+
+
+def tiny_plan():
+    return FaultPlan(
+        (
+            FaultEvent(0.01, KIND_NODE_CRASH, "a"),
+            FaultEvent(0.02, KIND_NODE_RESTART, "a"),
+            FaultEvent(0.03, KIND_NODE_CRASH, "b"),
+        )
+    )
+
+
+class TestLiveFaultShim:
+    def test_fires_every_event(self):
+        shim = LiveFaultShim(tiny_plan())
+        seen = []
+        lock = threading.Lock()
+
+        def note(event):
+            with lock:
+                seen.append((event.kind, event.target))
+
+        shim.on(KIND_NODE_CRASH, note).on(KIND_NODE_RESTART, note)
+        shim.start()
+        assert shim.wait(timeout=5.0)
+        assert shim.fired == {KIND_NODE_CRASH: 2, KIND_NODE_RESTART: 1}
+        assert sorted(seen) == [
+            (KIND_NODE_CRASH, "a"),
+            (KIND_NODE_CRASH, "b"),
+            (KIND_NODE_RESTART, "a"),
+        ]
+
+    def test_unhandled_kinds_are_noops(self):
+        shim = LiveFaultShim(tiny_plan())
+        shim.start()
+        assert shim.wait(timeout=5.0)
+        assert shim.errors == []
+
+    def test_handler_exceptions_collected_not_raised(self):
+        shim = LiveFaultShim(tiny_plan())
+
+        def explode(_event):
+            raise RuntimeError("handler bug")
+
+        shim.on(KIND_NODE_CRASH, explode)
+        shim.start()
+        assert shim.wait(timeout=5.0)
+        assert len(shim.errors) == 2
+        assert all(isinstance(exc, RuntimeError) for _e, exc in shim.errors)
+
+    def test_time_scale_compresses_schedule(self):
+        plan = FaultPlan((FaultEvent(10.0, KIND_NODE_CRASH, "a"),))
+        shim = LiveFaultShim(plan, time_scale=0.001)
+        shim.start()
+        assert shim.wait(timeout=5.0)
+
+    def test_empty_plan_is_immediately_drained(self):
+        shim = LiveFaultShim(FaultPlan())
+        assert shim.wait(timeout=0.0)
+        shim.start()
+
+    def test_stop_cancels_pending(self):
+        plan = FaultPlan((FaultEvent(30.0, KIND_NODE_CRASH, "a"),))
+        shim = LiveFaultShim(plan)
+        shim.start()
+        shim.stop()
+        assert not shim.wait(timeout=0.05)
+        assert shim.fired == {}
+
+    def test_double_start_rejected(self):
+        shim = LiveFaultShim(FaultPlan())
+        shim.start()
+        with pytest.raises(FaultPlanError):
+            shim.start()
+
+    def test_bad_time_scale_rejected(self):
+        with pytest.raises(FaultPlanError):
+            LiveFaultShim(FaultPlan(), time_scale=0.0)

@@ -1,0 +1,181 @@
+"""Live-runtime robustness: send retries, loss injection, LIGLO retry."""
+
+import threading
+
+import pytest
+
+from repro.errors import LigloUnreachableError, NetworkError, RetryExhaustedError
+from repro.live import LiveLigloServer, LivePeer
+from repro.live.transport import LiveEndpoint
+from repro.util.retry import RetryPolicy
+
+#: Zero-delay policy (tests inject sleep anyway; nothing should block).
+POLICY = RetryPolicy(
+    max_attempts=3, base_delay=0.01, multiplier=2.0, max_delay=0.05, jitter=0.0
+)
+
+
+def dead_address():
+    """An address with nothing listening (bind, grab the port, close)."""
+    import socket
+
+    probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    probe.bind(("127.0.0.1", 0))
+    address = probe.getsockname()
+    probe.close()
+    return address
+
+
+class TestSendWithRetry:
+    def test_succeeds_against_live_peer(self):
+        a = LiveEndpoint()
+        b = LiveEndpoint()
+        got = threading.Event()
+        b.bind("test/ping", lambda _src, _payload: got.set())
+        try:
+            a.send_with_retry(b.address, "test/ping", b"x", POLICY)
+            assert got.wait(timeout=5.0)
+            assert a.send_retries == 0
+        finally:
+            a.close()
+            b.close()
+
+    def test_exhaustion_raises_and_counts(self):
+        endpoint = LiveEndpoint()
+        slept = []
+        try:
+            with pytest.raises(RetryExhaustedError) as excinfo:
+                endpoint.send_with_retry(
+                    dead_address(), "test/ping", b"x", POLICY, sleep=slept.append
+                )
+            assert excinfo.value.attempts == POLICY.max_attempts
+            assert isinstance(excinfo.value.__cause__, NetworkError)
+            assert endpoint.send_retries == POLICY.max_attempts - 1
+            assert slept == [0.01, 0.02]
+        finally:
+            endpoint.close()
+
+    def test_recovers_when_listener_appears(self):
+        # First attempt hits a dead port; the sleep hook brings a
+        # listener up on that exact port before the retry.
+        address = dead_address()
+        got = threading.Event()
+        late: list[LiveEndpoint] = []
+
+        def revive(_delay):
+            if not late:
+                endpoint = LiveEndpoint(port=address[1])
+                endpoint.bind("test/ping", lambda _s, _p: got.set())
+                late.append(endpoint)
+
+        sender = LiveEndpoint()
+        try:
+            sender.send_with_retry(
+                tuple(address), "test/ping", b"x", POLICY, sleep=revive
+            )
+            assert got.wait(timeout=5.0)
+            assert sender.send_retries >= 1
+        finally:
+            sender.close()
+            for endpoint in late:
+                endpoint.close()
+
+
+class TestLossInjection:
+    def test_validates_probability(self):
+        with pytest.raises(NetworkError):
+            LiveEndpoint(loss_probability=1.5)
+
+    def test_total_loss_drops_everything(self):
+        sender = LiveEndpoint()
+        receiver = LiveEndpoint(loss_probability=1.0)
+        received = threading.Event()
+        receiver.bind("test/data", lambda _s, _p: received.set())
+        try:
+            for _ in range(5):
+                sender.send(receiver.address, "test/data", b"x")
+            assert not received.wait(timeout=0.3)
+            pause = threading.Event()
+            for _ in range(50):  # workers race the assertion; poll briefly
+                if receiver.loss_drops == 5:
+                    break
+                pause.wait(0.05)
+            assert receiver.loss_drops == 5
+            assert receiver.messages_received == 0
+        finally:
+            sender.close()
+            receiver.close()
+
+    def test_zero_loss_delivers_everything(self):
+        sender = LiveEndpoint()
+        receiver = LiveEndpoint(loss_probability=0.0)
+        count = []
+        done = threading.Event()
+
+        def on_message(_src, _payload):
+            count.append(1)
+            if len(count) == 5:
+                done.set()
+
+        receiver.bind("test/data", on_message)
+        try:
+            for _ in range(5):
+                sender.send(receiver.address, "test/data", b"x")
+            assert done.wait(timeout=5.0)
+            assert receiver.loss_drops == 0
+        finally:
+            sender.close()
+            receiver.close()
+
+
+class TestRegisterWithRetry:
+    def test_unreachable_liglo_raises_typed_error(self):
+        peer = LivePeer("loner")
+        slept = []
+        try:
+            with pytest.raises(LigloUnreachableError) as excinfo:
+                peer.register_with(
+                    dead_address(),
+                    timeout=0.2,
+                    retry_policy=POLICY,
+                    sleep=slept.append,
+                )
+            assert excinfo.value.attempts == POLICY.max_attempts
+            assert slept == [0.01, 0.02]
+        finally:
+            peer.close()
+
+    def test_no_policy_still_returns_false(self):
+        peer = LivePeer("loner")
+        try:
+            assert peer.register_with(dead_address(), timeout=0.2) is False
+        finally:
+            peer.close()
+
+    def test_rejection_is_not_retried(self):
+        server = LiveLigloServer(capacity=1)
+        first = LivePeer("first")
+        second = LivePeer("second")
+        slept = []
+        try:
+            assert first.register_with(server.address)
+            assert (
+                second.register_with(
+                    server.address, retry_policy=POLICY, sleep=slept.append
+                )
+                is False
+            )
+            assert slept == []  # the server answered; no backoff happened
+        finally:
+            for thing in (first, second, server):
+                thing.close()
+
+    def test_healthy_registration_with_policy(self):
+        server = LiveLigloServer()
+        peer = LivePeer("healthy")
+        try:
+            assert peer.register_with(server.address, retry_policy=POLICY)
+            assert peer.bpid.liglo_id == server.server_id
+        finally:
+            peer.close()
+            server.close()
