@@ -299,8 +299,13 @@ def build_cs_network(
     codec: Codec | None = None,
     tracer: Tracer | None = None,
     sim: Simulator | None = None,
+    storm_factory=None,
 ) -> CsDeployment:
-    """Build a CS deployment whose tree mirrors ``topology`` from its base."""
+    """Build a CS deployment whose tree mirrors ``topology`` from its base.
+
+    ``storm_factory(i)`` supplies node ``i``'s pre-built store
+    (experiment provisioning); default is an empty store per node.
+    """
     if not topology.is_connected():
         raise TopologyError("CS tree needs a connected topology")
     sim = sim if sim is not None else Simulator()
@@ -313,7 +318,14 @@ def build_cs_network(
         tracer=tracer,
     )
     nodes = [
-        CsNode(network, f"cs-{i}", variant, costs=costs, tracer=tracer)
+        CsNode(
+            network,
+            f"cs-{i}",
+            variant,
+            costs=costs,
+            tracer=tracer,
+            storm=storm_factory(i) if storm_factory is not None else None,
+        )
         for i in range(topology.node_count)
     ]
     # Orient the topology into a BFS tree rooted at the base.

@@ -324,8 +324,13 @@ def build_gnutella_network(
     codec: Codec | None = None,
     tracer: Tracer | None = None,
     sim: Simulator | None = None,
+    storm_factory=None,
 ) -> GnutellaDeployment:
-    """Build a Gnutella overlay mirroring ``topology``."""
+    """Build a Gnutella overlay mirroring ``topology``.
+
+    ``storm_factory(i)`` supplies servent ``i``'s pre-built store
+    (experiment provisioning); default is an empty store per servent.
+    """
     if topology.node_count < 1:
         raise TopologyError("need at least one servent")
     sim = sim if sim is not None else Simulator()
@@ -338,7 +343,13 @@ def build_gnutella_network(
         tracer=tracer,
     )
     servents = [
-        GnutellaServent(network, f"gnut-{i}", costs=costs, tracer=tracer)
+        GnutellaServent(
+            network,
+            f"gnut-{i}",
+            costs=costs,
+            tracer=tracer,
+            storm=storm_factory(i) if storm_factory is not None else None,
+        )
         for i in range(topology.node_count)
     ]
     for index, servent in enumerate(servents):

@@ -131,6 +131,12 @@ def _run_list() -> int:
 def _run_figure(args: argparse.Namespace) -> int:
     result = FIGURES[args.name](_params(args), runner=_runner(args))
     _emit(result, args)
+    if args.name == "churn":
+        from repro.eval.report import format_churn_trials
+
+        print()
+        print("per-trial degradation detail:")
+        print(format_churn_trials(churn.figure_churn.last_trials))
     return 0
 
 
@@ -188,6 +194,11 @@ def _run_demo() -> int:
         f"{second.completion_time:.4f}s after reconfiguration"
     )
     print(f"speedup: {first.completion_time / second.completion_time:.2f}x")
+    from repro.eval.report import format_degradation_stats
+
+    print()
+    print("graceful-degradation counters:")
+    print(format_degradation_stats(net.nodes))
     net.base.finish_query(second)
     return 0
 

@@ -19,6 +19,7 @@ from repro.net.address import AddressPool
 from repro.net.link import LinkModel
 from repro.net.network import Network
 from repro.sim import Simulator
+from repro.storm.store import StorM
 from repro.topology.builders import Topology
 from repro.util.compression import Codec
 from repro.util.tracing import NULL_TRACER, Tracer
@@ -90,6 +91,7 @@ def build_network(
     codec: Codec | None = None,
     tracer: Tracer | None = None,
     sim: Simulator | None = None,
+    storm_factory: Callable[[int], "StorM"] | None = None,
 ) -> BestPeerNetwork:
     """Build a ready-to-run BestPeer network.
 
@@ -102,6 +104,10 @@ def build_network(
     ``config`` may be one shared :class:`BestPeerConfig` or a sequence
     with one entry per node ("nodes can redefine the number of direct
     peers ... and implement their own reconfiguration strategies").
+
+    ``storm_factory`` supplies node ``i``'s pre-built store (experiment
+    provisioning: bulk-loaded or template-cloned stores); without it
+    every node opens an empty default store.
     """
     if node_count < 1:
         raise BestPeerError(f"need >= 1 node, got {node_count}")
@@ -143,7 +149,11 @@ def build_network(
     nodes = []
     for i in range(node_count):
         node = BestPeerNode(
-            network, f"node-{i}", config=configs[i], tracer=tracer
+            network,
+            f"node-{i}",
+            config=configs[i],
+            tracer=tracer,
+            storm=storm_factory(i) if storm_factory is not None else None,
         )
         server = servers[i % liglo_count]
         node.join([server.host.address])

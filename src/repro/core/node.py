@@ -323,6 +323,12 @@ class BestPeerNode:
         """Publish a static object into this node's sharable StorM store."""
         return self.storm.put(keywords, payload)
 
+    def share_many(
+        self, objects: Sequence[tuple[Sequence[str], bytes]]
+    ) -> list[RecordId]:
+        """Publish a batch of objects via StorM's bulk-load fast path."""
+        return self.storm.put_many(objects)
+
     def share_active(
         self, name: str, data: bytes, element: sharing.ActiveElement
     ) -> ActiveObject:

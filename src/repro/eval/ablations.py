@@ -239,14 +239,18 @@ def ablation_shipping(
         )
         deployment = build_network(node_count, config=config, topology=star(node_count))
         for index, node in enumerate(deployment.nodes[1:], start=1):
-            for spec in generate_objects(
-                index,
-                count=store_objects,
-                size=params.object_size,
-                corpus=corpus,
-                seed=params.seed,
-            ):
-                node.storm.put(spec.keywords, spec.payload)
+            node.share_many(
+                [
+                    (spec.keywords, spec.payload)
+                    for spec in generate_objects(
+                        index,
+                        count=store_objects,
+                        size=params.object_size,
+                        corpus=corpus,
+                        seed=params.seed,
+                    )
+                ]
+            )
             if params.warm_buffers:
                 node.storm.search_scan(keyword)
         if policy == "adaptive":
@@ -294,8 +298,14 @@ def ablation_buffer_strategy(
             pool_size=pool_size,
             strategy=make_strategy(name),
         )
-        for spec in generate_objects(0, count=objects, size=object_size, corpus=corpus):
-            store.put(spec.keywords, spec.payload)
+        store.put_many(
+            [
+                (spec.keywords, spec.payload)
+                for spec in generate_objects(
+                    0, count=objects, size=object_size, corpus=corpus
+                )
+            ]
+        )
         for scan in range(1, scans + 1):
             search = store.search_scan(corpus.keyword(0))
             service = (

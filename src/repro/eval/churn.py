@@ -89,7 +89,7 @@ def churn_trial(task: tuple[str, float, int, FigureParams]) -> dict:
     # One distinct matching object per non-base node: recall is simply
     # answers-received over (node_count - 1).
     for index, node in enumerate(deployment.nodes[1:], 1):
-        node.share([keyword], index.to_bytes(4, "big") * 16)
+        node.share_many([([keyword], index.to_bytes(4, "big") * 16)])
     churnable = [node.name for node in deployment.nodes[1:]]  # base never churns
     injector = SimFaultInjector(
         deployment, _fault_plan(churnable, rate, params.seed), tracer=deployment.tracer

@@ -46,8 +46,9 @@ from repro.eval.metrics import (
     response_curve,
 )
 from repro.topology.builders import Topology, line, random_graph, star, tree
-from repro.workloads.corpus import KeywordCorpus, generate_objects
+from repro.workloads.corpus import KeywordCorpus
 from repro.workloads.placement import AnswerPlacement
+from repro.workloads.provision import provision_store
 
 #: Scheme labels as the paper uses them.
 SCHEME_SCS = "SCS"
@@ -129,11 +130,12 @@ def _bestpeer_runs(
         for i in range(topology.node_count)
     ]
     deployment = build_network(
-        topology.node_count, config=configs, topology=topology, codec=codec
+        topology.node_count,
+        config=configs,
+        topology=topology,
+        codec=codec,
+        storm_factory=_store_factory(params, placement),
     )
-    corpus = KeywordCorpus(params.corpus_size)
-    for index, node in enumerate(deployment.nodes):
-        _load_store(node.storm, index, params, corpus, placement)
     keyword = keyword if keyword is not None else _query_keyword(params)
     runs: list[list[Arrival]] = []
     for _ in range(params.queries):
@@ -157,10 +159,12 @@ def _cs_runs(
     placement: AnswerPlacement | None = None,
 ) -> list[list[Arrival]]:
     """Run repeated queries against an SCS/MCS deployment."""
-    deployment = build_cs_network(topology, variant, costs=params.costs)
-    corpus = KeywordCorpus(params.corpus_size)
-    for index, node in enumerate(deployment.nodes):
-        _load_store(node.storm, index, params, corpus, placement)
+    deployment = build_cs_network(
+        topology,
+        variant,
+        costs=params.costs,
+        storm_factory=_store_factory(params, placement),
+    )
     keyword = keyword if keyword is not None else _query_keyword(params)
     runs = []
     for _ in range(params.queries):
@@ -182,10 +186,11 @@ def _gnutella_runs(
     placement: AnswerPlacement | None = None,
 ) -> list[list[Arrival]]:
     """Run repeated queries against a Gnutella deployment."""
-    deployment = build_gnutella_network(topology, costs=params.costs)
-    corpus = KeywordCorpus(params.corpus_size)
-    for index, servent in enumerate(deployment.servents):
-        _load_store(servent.storm, index, params, corpus, placement)
+    deployment = build_gnutella_network(
+        topology,
+        costs=params.costs,
+        storm_factory=_store_factory(params, placement),
+    )
     runs = []
     for _ in range(params.queries):
         handle = deployment.base.issue_query(keyword, ttl=max(7, topology.node_count))
@@ -199,21 +204,30 @@ def _gnutella_runs(
     return runs
 
 
-def _load_store(storm, index, params, corpus, placement) -> None:
-    """Load one node's store: background corpus plus placed answers."""
-    for spec in generate_objects(
-        index,
-        count=params.objects_per_node,
-        size=params.object_size,
-        corpus=corpus,
-        seed=params.seed,
-    ):
-        storm.put(spec.keywords, spec.payload)
-    if placement is not None:
-        for payload in placement.objects_for(index, size=params.object_size):
-            storm.put([placement.keyword], payload)
-    if params.warm_buffers:
-        storm.search_scan(corpus.keyword(0))  # touch every page once
+def _store_factory(params: FigureParams, placement: AnswerPlacement | None):
+    """Per-node store provisioning for one deployment.
+
+    Routes every experiment's store population through
+    :func:`~repro.workloads.provision.provision_store`, which bulk-loads
+    the corpus and clones repeated (corpus, node, size) combinations
+    from a template instead of re-inserting every object.  The closure
+    is created inside whichever process builds the deployment, so
+    ``--jobs`` workers each keep their own template registry.
+    """
+    corpus = KeywordCorpus(params.corpus_size)
+
+    def factory(index: int):
+        return provision_store(
+            index,
+            count=params.objects_per_node,
+            size=params.object_size,
+            corpus=corpus,
+            seed=params.seed,
+            placement=placement,
+            warm=params.warm_buffers,
+        )
+
+    return factory
 
 
 def _mean_completion(runs: list[list[Arrival]]) -> float:

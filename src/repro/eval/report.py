@@ -140,3 +140,37 @@ def format_degradation_stats(nodes) -> str:
     stats = degradation_stats(nodes)
     rows = [[key, value] for key, value in stats.items()]
     return format_table(["counter", "value"], rows)
+
+
+def format_churn_trials(trials: Sequence[dict]) -> str:
+    """Render churn trial dicts (one per (scheme, rate) point) as a table.
+
+    Shows the graceful-degradation observables behind each mean-recall
+    number: degraded queries, suspect peers, packet drops by cause, and
+    the faults the plan actually applied.
+    """
+    rows = []
+    for trial in trials:
+        drops = " ".join(
+            f"{reason}={count}"
+            for reason, count in sorted(trial["drops_by_reason"].items())
+        )
+        faults = " ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(trial["faults_applied"].items())
+        )
+        rows.append(
+            [
+                trial["scheme"],
+                trial["rate"],
+                trial["mean_recall"],
+                trial["degraded_queries"],
+                trial["suspect_peers"],
+                drops or "-",
+                faults or "-",
+            ]
+        )
+    return format_table(
+        ["scheme", "rate", "recall", "degraded", "suspects", "drops", "faults"],
+        rows,
+    )

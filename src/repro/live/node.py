@@ -217,6 +217,10 @@ class LivePeer:
     def share(self, keywords: Sequence[str], payload: bytes):
         return self.storm.put(keywords, payload)
 
+    def share_many(self, objects: Sequence[tuple[Sequence[str], bytes]]):
+        """Batch :meth:`share` via StorM's bulk-load fast path."""
+        return self.storm.put_many(objects)
+
     def issue_query(self, keyword: str, ttl: int = 7) -> LiveQuery:
         """Flood a StorM search agent; answers stream into the result."""
         query_id = QueryId(self.bpid, self._query_serials.next())

@@ -26,6 +26,38 @@ class KeywordIndex:
         for keyword in keywords:
             self._postings.setdefault(normalize_keyword(keyword), set()).add(rid)
 
+    def insert_many(
+        self,
+        entries: Iterable[tuple[RecordId, Iterable[str]]],
+        normalized: bool = False,
+    ) -> None:
+        """Batched :meth:`add` over ``(rid, keywords)`` pairs.
+
+        ``normalized=True`` skips re-normalizing keywords that are
+        already canonical (e.g. straight off a
+        :class:`~repro.storm.objects.StoredObject`, whose constructor
+        normalizes) — normalization is idempotent, so the postings are
+        identical either way.
+        """
+        postings = self._postings
+        for rid, keywords in entries:
+            for keyword in keywords:
+                if not normalized:
+                    keyword = normalize_keyword(keyword)
+                postings.setdefault(keyword, set()).add(rid)
+
+    def snapshot(self) -> dict[str, frozenset[RecordId]]:
+        """An immutable copy of every posting list (for store templates)."""
+        return {
+            keyword: frozenset(rids) for keyword, rids in self._postings.items()
+        }
+
+    def load_snapshot(self, snapshot: dict[str, frozenset[RecordId]]) -> None:
+        """Replace all postings with a :meth:`snapshot`'s contents."""
+        self._postings = {
+            keyword: set(rids) for keyword, rids in snapshot.items()
+        }
+
     def remove(self, rid: RecordId, keywords: Iterable[str]) -> None:
         """Drop ``rid`` from every keyword's postings."""
         for keyword in keywords:

@@ -60,6 +60,21 @@ class PersistentKeywordIndex:
         for keyword in keywords:
             self.tree.insert(self._entry(keyword, rid))
 
+    def insert_many(
+        self,
+        entries: Iterable[tuple[RecordId, Iterable[str]]],
+        normalized: bool = False,
+    ) -> None:
+        """Batched :meth:`add` (API parity with the in-memory index).
+
+        ``normalized`` is accepted for signature compatibility; the
+        entry codec normalizes regardless (idempotent for canonical
+        keywords), so postings are identical either way.
+        """
+        del normalized
+        for rid, keywords in entries:
+            self.add(rid, keywords)
+
     def remove(self, rid: RecordId, keywords: Iterable[str]) -> None:
         """Drop ``rid`` from every keyword's postings (missing ok)."""
         for keyword in keywords:

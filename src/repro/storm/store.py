@@ -14,10 +14,11 @@ agent service time.
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator
+import os
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass, field
 
-from repro.errors import StorageClosedError, StormError
+from repro.errors import PageError, StorageClosedError, StormError
 from repro.storm.buffer import AccessStats, BufferManager
 from repro.storm.disk import Disk, InMemoryDisk
 from repro.storm.heapfile import HeapFile, RecordId
@@ -29,6 +30,17 @@ from repro.storm.replacement import ReplacementStrategy
 #: Default for :class:`StorM`'s decoded-scan cache.  Tests monkeypatch
 #: this to ``False`` to prove the cache changes no observable result.
 SCAN_CACHE_DEFAULT = True
+
+#: Set ``REPRO_NO_BULK_LOAD=1`` to make :meth:`StorM.put_many` fall back
+#: to the per-record path.  Checked per call (not at import), so
+#: ``--jobs`` worker processes inherit the bypass through the
+#: environment like the other fast-path switches.
+BULK_LOAD_ENV_VAR = "REPRO_NO_BULK_LOAD"
+
+
+def bulk_load_disabled() -> bool:
+    """True when the environment disables the bulk-load fast path."""
+    return os.environ.get(BULK_LOAD_ENV_VAR, "") not in ("", "0")
 
 
 @dataclass
@@ -64,6 +76,7 @@ class StorM:
         index_pool_size: int = 64,
         wal_path: str | None = None,
         scan_cache: bool | None = None,
+        index_snapshot: dict | None = None,
     ):
         self.disk = disk if disk is not None else InMemoryDisk()
         self._closed = False
@@ -89,6 +102,10 @@ class StorM:
         self.heap = HeapFile(self.buffer)
         if index_disk is not None:
             # Persistent index: survives reopen with no heap rescan.
+            if index_snapshot is not None:
+                raise StormError(
+                    "index_snapshot applies to the in-memory index only"
+                )
             from repro.storm.pindex import PersistentKeywordIndex
 
             self.index_disk: Disk | None = index_disk
@@ -100,7 +117,11 @@ class StorM:
         else:
             self.index_disk = None
             self.index = KeywordIndex()
-            if self.heap.record_count:
+            if index_snapshot is not None:
+                # A store template carries the prototype's postings, so
+                # a clone skips the decode-everything heap rescan.
+                self.index.load_snapshot(index_snapshot)
+            elif self.heap.record_count:
                 self.index.rebuild(self._index_entries())
 
     def _index_entries(self):
@@ -130,6 +151,69 @@ class StorM:
         rid = self.heap.insert(obj.encode())
         self.index.add(rid, obj.keywords)
         return rid
+
+    def put_many(
+        self,
+        items: Iterable[tuple[Sequence[str], bytes]],
+        durable: bool = False,
+    ) -> list[RecordId]:
+        """Store a batch of ``(keywords, payload)`` objects in one pass.
+
+        The bulk path packs records page-at-a-time with deferred
+        free-space accounting (:meth:`HeapFile.insert_many`) and updates
+        the keyword index in one batch; record ids, index contents,
+        search results, and buffer statistics are bit-identical to a
+        :meth:`put` loop (``REPRO_NO_BULK_LOAD=1`` forces that loop).
+
+        ``durable=True`` additionally issues one grouped
+        :meth:`commit` for the whole batch — equivalent to a per-record
+        loop followed by a single commit; requires a WAL-backed store.
+        """
+        self._check_open()
+        objs = [
+            StoredObject(tuple(keywords), bytes(payload))
+            for keywords, payload in items
+        ]
+        if bulk_load_disabled():
+            rids = []
+            for obj in objs:
+                rid = self.heap.insert(obj.encode())
+                self.index.add(rid, obj.keywords)
+                rids.append(rid)
+        else:
+            records = [obj.encode() for obj in objs]
+            # An oversized record leaves the per-record loop half done:
+            # everything before it stored *and indexed*.  Split there so
+            # the failure state matches exactly.
+            bad = next(
+                (
+                    i
+                    for i, record in enumerate(records)
+                    if len(record) > self.heap.max_record_size
+                ),
+                None,
+            )
+            prefix = records if bad is None else records[:bad]
+            rids = self.heap.insert_many(prefix)
+            self.index.insert_many(
+                zip(rids, (obj.keywords for obj in objs)), normalized=True
+            )
+            if bad is not None:
+                raise PageError(
+                    f"record of {len(records[bad])} bytes exceeds max "
+                    f"{self.heap.max_record_size} for this page size"
+                )
+        if durable:
+            self.commit()
+        return rids
+
+    def share_many(
+        self,
+        items: Iterable[tuple[Sequence[str], bytes]],
+        durable: bool = False,
+    ) -> list[RecordId]:
+        """Alias of :meth:`put_many` under the node-facing name."""
+        return self.put_many(items, durable=durable)
 
     def delete(self, rid: RecordId) -> None:
         """Remove an object (and its index postings)."""

@@ -15,6 +15,7 @@ from __future__ import annotations
 import pytest
 
 import repro.storm.store as store_module
+import repro.storm.template as template_module
 import repro.util.serialization as serialization_module
 from repro.agents import codeship
 from repro.net.codec import WIRE_CODEC_ENV_VAR
@@ -45,6 +46,53 @@ def test_series_identical_with_caches_disabled(monkeypatch, fastpath_results):
     monkeypatch.setattr(serialization_module, "WIRE_CACHE_CAPACITY", 0)
     monkeypatch.setattr(store_module, "SCAN_CACHE_DEFAULT", False)
     assert _run_figures() == fastpath_results
+
+
+def test_series_identical_with_bulk_load_disabled(monkeypatch, fastpath_results):
+    monkeypatch.setenv(store_module.BULK_LOAD_ENV_VAR, "1")
+    template_module.clear_templates()
+    try:
+        assert _run_figures() == fastpath_results
+    finally:
+        # Templates built on the per-record path are still bit-identical,
+        # but drop them so later tests rebuild via the default path.
+        template_module.clear_templates()
+
+
+def test_series_identical_with_templates_disabled(monkeypatch, fastpath_results):
+    monkeypatch.setenv(template_module.TEMPLATE_ENV_VAR, "1")
+    assert _run_figures() == fastpath_results
+
+
+def test_series_identical_with_bulk_and_templates_disabled(
+    monkeypatch, fastpath_results
+):
+    # Both fast paths off is exactly the pre-optimization per-record
+    # population loop — the semantic reference.
+    monkeypatch.setenv(store_module.BULK_LOAD_ENV_VAR, "1")
+    monkeypatch.setenv(template_module.TEMPLATE_ENV_VAR, "1")
+    assert _run_figures() == fastpath_results
+
+
+def test_series_identical_with_templates_disabled_parallel(
+    monkeypatch, fastpath_results
+):
+    # Worker processes inherit the environment switch.
+    monkeypatch.setenv(template_module.TEMPLATE_ENV_VAR, "1")
+    parallel = ParallelExperimentRunner(jobs=2)
+    fig5 = figure_5a(TINY, sizes=(1, 2, 4), runner=parallel)
+    fig8 = figure_8a(TINY, node_count=8, max_peers=4, holder_count=2, runner=parallel)
+    assert (fig5.series, fig8.series) == fastpath_results
+
+
+def test_series_identical_with_bulk_load_disabled_parallel(
+    monkeypatch, fastpath_results
+):
+    monkeypatch.setenv(store_module.BULK_LOAD_ENV_VAR, "1")
+    parallel = ParallelExperimentRunner(jobs=2)
+    fig5 = figure_5a(TINY, sizes=(1, 2, 4), runner=parallel)
+    fig8 = figure_8a(TINY, node_count=8, max_peers=4, holder_count=2, runner=parallel)
+    assert (fig5.series, fig8.series) == fastpath_results
 
 
 def test_series_identical_with_agent_caches_disabled(monkeypatch, fastpath_results):

@@ -1,0 +1,99 @@
+"""Churn against the live runtime: a fault plan driving real peers.
+
+The simulator's churn experiment has a live twin here: a
+:class:`LiveFaultShim` fires a seeded crash/restart timeline whose
+handlers close and recreate actual :class:`LivePeer` processes while a
+base peer keeps querying over real sockets.  The assertions mirror the
+graceful-degradation contract — a query during the outage still
+completes with the surviving peers' answers, and a query after the
+restart sees the full answer set again.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.faults import FaultEvent, FaultPlan, LiveFaultShim
+from repro.faults.plan import KIND_NODE_CRASH, KIND_NODE_RESTART
+from repro.live import LivePeer
+
+
+@pytest.fixture
+def peers():
+    created = []
+
+    def make(name, **kwargs):
+        peer = LivePeer(name, **kwargs)
+        created.append(peer)
+        return peer
+
+    yield make
+    for peer in created:
+        peer.close()
+
+
+class TestLiveChurn:
+    def test_query_survives_crash_and_recovers_after_restart(self, peers):
+        base = peers("churn-base")
+        victim = peers("churn-victim")
+        survivor = peers("churn-survivor")
+        base.connect_to(victim)
+        base.connect_to(survivor)
+        victim.share_many([(["jazz"], b"from the victim")])
+        survivor.share_many([(["jazz"], b"from the survivor")])
+
+        crashed = threading.Event()
+        may_restart = threading.Event()
+        restarted = threading.Event()
+        replacement: list[LivePeer] = []
+
+        def on_crash(_event):
+            victim.close()
+            crashed.set()
+
+        def on_restart(_event):
+            # Hold the restart until the test has observed the outage,
+            # so the degraded-query assertion cannot race the recovery.
+            assert may_restart.wait(timeout=10.0)
+            peer = peers("churn-victim-2")
+            peer.connect_to(base)
+            peer.share_many([(["jazz"], b"back from the dead")])
+            replacement.append(peer)
+            restarted.set()
+
+        plan = FaultPlan(
+            (
+                FaultEvent(0.01, KIND_NODE_CRASH, "churn-victim"),
+                FaultEvent(0.02, KIND_NODE_RESTART, "churn-victim"),
+            )
+        )
+        shim = LiveFaultShim(plan)
+        shim.on(KIND_NODE_CRASH, on_crash).on(KIND_NODE_RESTART, on_restart)
+
+        # Before any fault: both peers answer.
+        healthy = base.issue_query("jazz")
+        assert healthy.wait_for_answers(2, timeout=5.0)
+        assert healthy.responders == {victim.bpid, survivor.bpid}
+
+        shim.start()
+        assert crashed.wait(timeout=5.0)
+
+        # During the outage: the query still completes, answered by the
+        # survivor alone — sends to the dead peer are swallowed.
+        degraded = base.issue_query("jazz")
+        assert degraded.wait_for_answers(1, timeout=5.0)
+        time.sleep(0.2)  # a late (impossible) victim answer would land here
+        assert degraded.responders == {survivor.bpid}
+
+        may_restart.set()
+        assert restarted.wait(timeout=10.0)
+        assert shim.wait(timeout=5.0)
+
+        # After the restart: the replacement peer answers again.
+        recovered = base.issue_query("jazz")
+        assert recovered.wait_for_answers(2, timeout=5.0)
+        assert recovered.responders == {survivor.bpid, replacement[0].bpid}
+        assert shim.errors == []
+        assert shim.fired == {KIND_NODE_CRASH: 1, KIND_NODE_RESTART: 1}
+        shim.stop()
