@@ -113,3 +113,45 @@ wire.register(
     ),
     compactable=lambda envelope: envelope.source is None,
 )
+
+# -- data-plane wire registration (type id block 0x10xx) -----------------------
+#
+# Sourced hops (the expensive ones — they carry the whole class text)
+# stream on the data codec with the source zlib-compressed *inside* the
+# frame, cached by codeship's sha256 digest so each distinct class is
+# compressed once per process, not once per envelope.
+
+from repro.net import datacodec as data
+
+data.register(
+    AgentEnvelope,
+    0x1006,
+    (
+        ("agent_id", wire.AGENT_ID_CODEC),
+        ("class_name", wire.STR),
+        ("source", data.COMPRESSED_SOURCE),
+        ("state", wire.PICKLE_BLOB),
+        ("ttl", wire.I32),
+        ("hops", wire.U32),
+        ("initiator", wire.BPID_CODEC),
+        # sim IPAddress or live (host, port) — envelopes cross both runtimes
+        ("initiator_address", data.ADDRESS_CODEC),
+        ("query_id", wire.opt(wire.QUERY_ID_CODEC)),
+        ("mode", wire.STR),
+        ("path", wire.seq(data.ADDRESS_CODEC)),
+    ),
+    sample=lambda: AgentEnvelope(
+        agent_id=AgentId(BPID("10.0.0.1", 7), 3),
+        class_name="DemoAgent",
+        source="class DemoAgent:\n    def run(self, node):\n        return []\n",
+        state={"keyword": "music"},
+        ttl=5,
+        hops=2,
+        initiator=BPID("10.0.0.1", 7),
+        initiator_address=IPAddress("10.0.4.2"),
+        query_id=QueryId(BPID("10.0.0.1", 7), 1),
+        mode=MODE_FLOOD,
+        path=(),
+    ),
+    streamable=lambda envelope: envelope.source is not None,
+)

@@ -194,11 +194,14 @@ def _run_demo() -> int:
         f"{second.completion_time:.4f}s after reconfiguration"
     )
     print(f"speedup: {first.completion_time / second.completion_time:.2f}x")
-    from repro.eval.report import format_degradation_stats
+    from repro.eval.report import format_degradation_stats, format_network_stats
 
     print()
     print("graceful-degradation counters:")
     print(format_degradation_stats(net.nodes))
+    print()
+    print("network/wire counters (control vs data plane):")
+    print(format_network_stats(net.network))
     net.base.finish_query(second)
     return 0
 

@@ -25,7 +25,7 @@ from typing import Any, Callable, Sequence
 from repro.agents.agent import Agent
 from repro.agents.engine import PROTO_ANSWER, AgentEngine
 from repro.agents.envelope import MODE_FLOOD
-from repro.agents.messages import MODE_METADATA, AnswerMessage
+from repro.agents.messages import MODE_METADATA, AnswerMessage, BatchedAnswers
 from repro.agents.storm_agent import StorMSearchAgent
 from repro.core import sharing
 from repro.core.config import BestPeerConfig
@@ -404,15 +404,21 @@ class BestPeerNode:
         return self.engine.dispatch(agent, **kwargs)
 
     def _on_answer(self, packet: Packet) -> None:
-        answer: AnswerMessage = packet.payload
-        self.peers.note_alive(answer.responder, self.sim.now)
-        handle = self._queries.get(answer.query_id)
-        if handle is None or handle.finished:
-            self.tracer.record(
-                self.sim.now, "node", "late-answer", node=self.name
-            )
-            return
-        handle.record_answer(answer, self.sim.now)
+        payload = packet.payload
+        # A batch is an encoding-layer coalescing only: each answer is
+        # recorded individually, exactly as if it had arrived alone.
+        answers = (
+            payload.answers if isinstance(payload, BatchedAnswers) else (payload,)
+        )
+        for answer in answers:
+            self.peers.note_alive(answer.responder, self.sim.now)
+            handle = self._queries.get(answer.query_id)
+            if handle is None or handle.finished:
+                self.tracer.record(
+                    self.sim.now, "node", "late-answer", node=self.name
+                )
+                continue
+            handle.record_answer(answer, self.sim.now)
 
     def _arm_auto_finish(self, handle: QueryHandle, quiet_period: float) -> None:
         def check() -> None:

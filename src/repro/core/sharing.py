@@ -115,6 +115,10 @@ class ShareCatalog:
 
 
 # -- compact wire registrations (type id block 0x02xx) -------------------------
+#
+# Requests are small fixed-shape control tokens and stay on the control
+# codec; the payload-carrying *replies* register with the data-plane
+# streaming codec below (type id block 0x10xx).
 
 wire.register(
     FetchRequest,
@@ -133,5 +137,37 @@ wire.register(
     ),
     sample=lambda: ActiveRequest(
         token=10, name="prices", requester=BPID("10.0.0.1", 7), credential="gold"
+    ),
+)
+
+# -- data-plane wire registrations (type id block 0x10xx) ----------------------
+
+from repro.net import datacodec as data
+
+data.register(
+    FetchReply,
+    0x1003,
+    (
+        ("token", wire.I64),
+        ("rid", wire.RECORD_ID_CODEC),
+        ("payload", wire.opt(wire.BYTES)),
+        ("found", wire.BOOL),
+    ),
+    sample=lambda: FetchReply(
+        token=9, rid=RecordId(3, 12), payload=b"object-bytes", found=True
+    ),
+)
+data.register(
+    ActiveReply,
+    0x1004,
+    (
+        ("token", wire.I64),
+        ("name", wire.STR),
+        ("content", wire.opt(wire.BYTES)),
+        ("granted", wire.BOOL),
+        ("reason", wire.STR),
+    ),
+    sample=lambda: ActiveReply(
+        token=10, name="prices", content=b"gold-tier prices", granted=True
     ),
 )

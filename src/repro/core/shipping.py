@@ -172,3 +172,25 @@ wire.register(
     (("token", wire.I64),),
     sample=lambda: DataRequest(token=11),
 )
+
+# -- data-plane wire registration (type id block 0x10xx) -----------------------
+#
+# A DataReply carries a peer's whole sharable dataset — the single
+# largest message in the system.  Stores past the data codec's frame cap
+# fall back to pickle+gzip; the decision depends only on the value, so
+# both ``REPRO_WIRE_DATA`` modes agree on the charged size.
+
+from repro.net import datacodec as data
+
+data.register(
+    DataReply,
+    0x1005,
+    (
+        ("token", wire.I64),
+        ("objects", wire.seq(wire.pair(wire.seq(wire.STR), wire.BYTES))),
+    ),
+    sample=lambda: DataReply(
+        token=11,
+        objects=((("music", "mp3"), b"notes"), (("news",), b"daily")),
+    ),
+)

@@ -14,9 +14,9 @@ protocols are real, working software.
 from __future__ import annotations
 
 import threading
-from typing import Sequence
+from typing import Any, Sequence
 
-from repro.agents.messages import AnswerMessage
+from repro.agents.messages import AnswerMessage, BatchedAnswers
 from repro.agents.storm_agent import StorMSearchAgent
 from repro.core.reconfig import MaxCountStrategy, PeerObservation
 from repro.errors import BestPeerError
@@ -230,11 +230,15 @@ class LivePeer:
         self.engine.dispatch(StorMSearchAgent(keyword), query_id=query_id, ttl=ttl)
         return query
 
-    def _on_answer(self, _src: LiveAddress, answer: AnswerMessage) -> None:
-        with self._lock:
-            query = self._queries.get(answer.query_id)
-        if query is not None:
-            query._record(answer)
+    def _on_answer(self, _src: LiveAddress, payload: Any) -> None:
+        answers = (
+            payload.answers if isinstance(payload, BatchedAnswers) else (payload,)
+        )
+        for answer in answers:
+            with self._lock:
+                query = self._queries.get(answer.query_id)
+            if query is not None:
+                query._record(answer)
 
     # -- reconfiguration ---------------------------------------------------------------
 

@@ -9,11 +9,17 @@ codec (the default), a compact live body::
 
     u8 magic (0xB7) | u16 protocol length | protocol utf8 | compact frame
 
+for data-registered messages under the streaming data codec (the
+default) the same shape with the data magic::
+
+    u8 magic (0xD7) | u16 protocol length | protocol utf8 | stream frame
+
 and for everything else the legacy form ``gzip(pickle((protocol,
-payload)))``.  The leading byte discriminates: 0xB7 never begins a gzip
-stream (0x1f) or a protocol-4 pickle (0x80).  The embedded compact frame
-is byte-identical to the one the simulated network charges for, so sim
-and live stay wire-compatible and one set of golden vectors covers both.
+payload)))``.  The leading byte discriminates: neither 0xB7 nor 0xD7
+ever begins a gzip stream (0x1f) or a protocol-4 pickle (0x80).  The
+embedded frames are byte-identical to the ones the simulated network
+charges for, so sim and live stay wire-compatible and one set of golden
+vectors covers both.
 
 A :class:`LiveEndpoint` owns a listening socket plus an accept thread;
 each accepted connection is served by a short-lived worker thread that
@@ -33,6 +39,7 @@ import threading
 from typing import Any, Callable
 
 from repro.errors import NetworkError, WireDecodeError
+from repro.net import datacodec
 from repro.net.codec import (
     CODEC_COMPACT,
     FRAME_MAGIC,
@@ -52,6 +59,7 @@ LiveAddress = tuple[str, int]
 _LEN = struct.Struct("<I")
 _PROTO_LEN = struct.Struct(">H")
 _COMPACT_TAG = bytes([FRAME_MAGIC])
+_DATA_TAG = bytes([datacodec.FRAME_MAGIC])
 #: refuse absurd frames rather than allocating unbounded buffers
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
@@ -64,29 +72,42 @@ def encode_frame(protocol: str, payload: Any, codec: Codec) -> bytes:
 
 
 def _encode_body(protocol: str, payload: Any, codec: Codec) -> bytes:
-    if wire_codec_mode() == CODEC_COMPACT:
-        frame = try_encode(payload)
-        if frame is not None:
-            name = protocol.encode("utf-8")
-            if len(name) <= 0xFFFF:
+    name = protocol.encode("utf-8")
+    if len(name) <= 0xFFFF:
+        if wire_codec_mode() == CODEC_COMPACT:
+            frame = try_encode(payload)
+            if frame is not None:
                 return _COMPACT_TAG + _PROTO_LEN.pack(len(name)) + name + frame
+        if datacodec.wire_data_mode() == datacodec.DATA_STREAM:
+            frame = datacodec.try_encode(payload)
+            if frame is not None:
+                return _DATA_TAG + _PROTO_LEN.pack(len(name)) + name + frame
     return codec.compress(serialize((protocol, payload)))
+
+
+def _split_protocol(body: bytes) -> tuple[str, bytes]:
+    """Split a tagged live body into (protocol name, embedded frame)."""
+    header_end = 1 + _PROTO_LEN.size
+    if len(body) < header_end:
+        raise WireDecodeError("live frame truncated inside the protocol header")
+    (name_len,) = _PROTO_LEN.unpack_from(body, 1)
+    frame_start = header_end + name_len
+    if frame_start > len(body):
+        raise WireDecodeError("live frame truncated inside the protocol name")
+    try:
+        protocol = body[header_end:frame_start].decode("utf-8")
+    except UnicodeDecodeError as exc:
+        raise WireDecodeError(f"invalid utf-8 protocol name: {exc}") from exc
+    return protocol, body[frame_start:]
 
 
 def _decode_body(body: bytes, codec: Codec) -> tuple[str, Any]:
     if body[:1] == _COMPACT_TAG:
-        header_end = 1 + _PROTO_LEN.size
-        if len(body) < header_end:
-            raise WireDecodeError("live frame truncated inside the protocol header")
-        (name_len,) = _PROTO_LEN.unpack_from(body, 1)
-        frame_start = header_end + name_len
-        if frame_start > len(body):
-            raise WireDecodeError("live frame truncated inside the protocol name")
-        try:
-            protocol = body[header_end:frame_start].decode("utf-8")
-        except UnicodeDecodeError as exc:
-            raise WireDecodeError(f"invalid utf-8 protocol name: {exc}") from exc
-        return protocol, decode_message(body[frame_start:])
+        protocol, frame = _split_protocol(body)
+        return protocol, decode_message(frame)
+    if body[:1] == _DATA_TAG:
+        protocol, frame = _split_protocol(body)
+        return protocol, datacodec.decode_message(frame)
     try:
         protocol, payload = deserialize(codec.decompress(body))
     except Exception as exc:
@@ -147,9 +168,11 @@ class LiveEndpoint:
         self.loss_probability = loss_probability
         self._loss_rng = derive_rng(loss_seed, "live-loss", host, port)
         self._loss_lock = threading.Lock()
-        # Incoming compact frames may name message types this process has
-        # not constructed yet; resolve every registered type id up front.
+        # Incoming frames may name message types this process has not
+        # constructed yet; resolve every registered type id up front,
+        # on both planes.
         load_registrations()
+        datacodec.load_registrations()
         self._handlers: dict[str, Callable[[LiveAddress, Any], None]] = {}
         self._handlers_lock = threading.Lock()
         self._listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)

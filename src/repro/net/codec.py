@@ -349,6 +349,15 @@ def pair(first: FieldCodec, second: FieldCodec) -> FieldCodec:
     return _Pair(first, second)
 
 
+def composite(
+    name: str,
+    attrs: tuple[tuple[str, FieldCodec], ...],
+    build: Callable[..., Any],
+) -> FieldCodec:
+    """A value-object field flattened to inner fields (answer items, ids)."""
+    return _Composite(name, attrs, build)
+
+
 def _make_id_codecs():
     # Deferred so this module needs nothing beyond repro.errors at import
     # time (repro.ids / repro.net.address import cleanly, but keeping the

@@ -20,10 +20,16 @@ from repro.net.codec import MAX_FRAME_BYTES, WIRE_FORMAT_VERSION
 
 
 class FrameFaultInjector:
-    """Produces corrupted variants of a well-formed compact frame."""
+    """Produces corrupted variants of a well-formed compact frame.
 
-    def __init__(self, seed: int = 0):
+    ``max_frame_bytes`` is the frame cap of the codec under test — the
+    control codec's by default; the data codec's conformance battery
+    passes its own (larger) cap so :meth:`oversize` actually crosses it.
+    """
+
+    def __init__(self, seed: int = 0, max_frame_bytes: int = MAX_FRAME_BYTES):
         self._rng = random.Random(seed)
+        self._max_frame_bytes = max_frame_bytes
 
     def truncate(self, frame: bytes, keep: int | None = None) -> bytes:
         """A strict prefix of the frame (``keep`` bytes; random when None)."""
@@ -57,7 +63,7 @@ class FrameFaultInjector:
 
     def oversize(self, frame: bytes) -> bytes:
         """The frame padded past the hard frame-size limit."""
-        return frame + b"\x00" * (MAX_FRAME_BYTES + 1 - len(frame))
+        return frame + b"\x00" * (self._max_frame_bytes + 1 - len(frame))
 
     def trailing_garbage(self, frame: bytes, extra: int | None = None) -> bytes:
         """The frame with junk bytes appended after a complete message."""

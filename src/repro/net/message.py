@@ -8,6 +8,8 @@ from typing import Any
 from repro.errors import WireDecodeError
 from repro.net.address import IPAddress
 from repro.net.codec import CODEC_COMPACT, CODEC_PICKLE, decode_message
+from repro.net.datacodec import CODEC_STREAM
+from repro.net.datacodec import decode_message as decode_data_message
 from repro.util.serialization import deserialize
 
 #: Fixed per-packet protocol overhead (headers, framing), in bytes.
@@ -22,7 +24,8 @@ class Packet:
     """One message travelling the simulated network.
 
     ``raw`` is the transport payload captured at send time — a compact
-    control frame or an (uncompressed) pickle, as tagged by ``codec``;
+    control frame, a streaming data frame, or an (uncompressed) pickle,
+    as tagged by ``codec``;
     ``wire_size`` is the number of bytes the encoded form (plus framing
     overhead) occupied on the wire — the quantity the transmission-cost
     model charges for.  Decoding never decompresses: compression only
@@ -53,8 +56,17 @@ class Packet:
         if self._decoded is _UNDECODED:
             if self.codec == CODEC_COMPACT:
                 decoded = decode_message(self.raw)
+            elif self.codec == CODEC_STREAM:
+                decoded = decode_data_message(self.raw)
             elif self.codec == CODEC_PICKLE:
-                decoded = deserialize(self.raw)
+                try:
+                    decoded = deserialize(self.raw)
+                except WireDecodeError:
+                    raise
+                except Exception as exc:
+                    # A corrupt pickle raises whatever pickle feels like;
+                    # the delivery loop only counts *typed* decode errors.
+                    raise WireDecodeError(f"corrupt pickle payload: {exc}") from exc
             else:
                 raise WireDecodeError(f"unknown packet codec tag {self.codec!r}")
             object.__setattr__(self, "_decoded", decoded)

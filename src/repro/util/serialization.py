@@ -14,6 +14,13 @@ travel as struct-packed binary frames.  ``REPRO_WIRE_CODEC=pickle``
 forces even registered messages down the pickle path — but the charged
 wire size stays the canonical compact-frame size either way, so the
 switch can never change a simulated byte count, only wall-clock.
+
+Payload-carrying data-plane messages (answers, fetch/active/data
+replies, sourced agent envelopes) register with the streaming data codec
+(:mod:`repro.net.datacodec`) instead and travel as length-prefixed
+stream frames; ``REPRO_WIRE_DATA=pickle`` forces them back to
+pickle+gzip under the same charged-size invariance.  Per-plane counters
+(`control`/`data`/`fallback`) record where the bytes actually go.
 """
 
 from __future__ import annotations
@@ -48,6 +55,19 @@ def _wire_codec():
 
         _wire_codec_module = codec
     return _wire_codec_module
+
+
+#: Lazily bound :mod:`repro.net.datacodec`, same rationale as above.
+_data_codec_module = None
+
+
+def _data_codec():
+    global _data_codec_module
+    if _data_codec_module is None:
+        from repro.net import datacodec
+
+        _data_codec_module = datacodec
+    return _data_codec_module
 
 
 def serialize(obj: Any) -> bytes:
@@ -113,13 +133,20 @@ class WireEncoder:
         self.tracer = tracer
         self.hits = 0
         self.misses = 0
-        #: payloads that took the compact path / the pickle(+gzip) path
+        #: payloads that took the compact control path / the streaming
+        #: data path / the pickle(+gzip) fallback
         self.compact_frames = 0
+        self.data_frames = 0
         self.pickle_payloads = 0
-        #: (id(payload), codec mode) -> (payload, encoded); LRU-ordered
-        self._cache: OrderedDict[tuple[int, str], tuple[Any, EncodedPayload]] = (
-            OrderedDict()
-        )
+        #: charged bytes per plane (counted once per distinct encoding,
+        #: i.e. on cache misses — the per-send totals live in Network)
+        self.control_bytes = 0
+        self.data_bytes = 0
+        self.fallback_bytes = 0
+        #: (id(payload), control mode, data mode) -> (payload, encoded)
+        self._cache: OrderedDict[
+            tuple[int, str, str], tuple[Any, EncodedPayload]
+        ] = OrderedDict()
 
     @property
     def hit_ratio(self) -> float:
@@ -131,8 +158,10 @@ class WireEncoder:
     def encode(self, payload: Any) -> EncodedPayload:
         """Wire form of ``payload``, memoized per (object identity, codec)."""
         wire = _wire_codec()
+        data = _data_codec()
         mode = wire.wire_codec_mode()
-        key = (id(payload), mode)
+        data_mode = data.wire_data_mode()
+        key = (id(payload), mode, data_mode)
         entry = self._cache.get(key)
         if entry is not None and entry[0] is payload:
             self.hits += 1
@@ -143,7 +172,7 @@ class WireEncoder:
         self.misses += 1
         if self.tracer is not None:
             self.tracer.bump("net", "encode-miss")
-        encoded = self._encode(payload, wire, mode)
+        encoded = self._encode(payload, wire, mode, data, data_mode)
         if self.capacity > 0:
             self._cache[key] = (payload, encoded)
             self._cache.move_to_end(key)
@@ -151,10 +180,13 @@ class WireEncoder:
                 self._cache.popitem(last=False)
         return encoded
 
-    def _encode(self, payload: Any, wire, mode: str) -> EncodedPayload:
+    def _encode(
+        self, payload: Any, wire, mode: str, data, data_mode: str
+    ) -> EncodedPayload:
         frame = wire.try_encode(payload)
         if frame is not None:
             self.compact_frames += 1
+            self.control_bytes += len(frame)
             if self.tracer is not None:
                 self.tracer.bump("net", "encode-compact")
             if mode == wire.CODEC_COMPACT:
@@ -163,9 +195,22 @@ class WireEncoder:
             # canonical compact-frame size so simulated byte counts are
             # bit-identical whichever codec is selected.
             return EncodedPayload(serialize(payload), len(frame), wire.CODEC_PICKLE)
+        frame = data.try_encode(payload)
+        if frame is not None:
+            self.data_frames += 1
+            self.data_bytes += len(frame)
+            if self.tracer is not None:
+                self.tracer.bump("net", "encode-stream")
+            if data_mode == data.DATA_STREAM:
+                return EncodedPayload(frame, len(frame), data.CODEC_STREAM)
+            # Same charged-size invariance as the control plane: pickle
+            # mode ships pickle bytes at the canonical stream-frame size.
+            return EncodedPayload(serialize(payload), len(frame), wire.CODEC_PICKLE)
         self.pickle_payloads += 1
         raw = serialize(payload)
-        return EncodedPayload(raw, len(self.codec.compress(raw)), wire.CODEC_PICKLE)
+        encoded = EncodedPayload(raw, len(self.codec.compress(raw)), wire.CODEC_PICKLE)
+        self.fallback_bytes += encoded.compressed_size
+        return encoded
 
     def clear(self) -> None:
         """Drop all cached encodings (counters are kept)."""

@@ -19,6 +19,7 @@ import repro.storm.template as template_module
 import repro.util.serialization as serialization_module
 from repro.agents import codeship
 from repro.net.codec import WIRE_CODEC_ENV_VAR
+from repro.net.datacodec import WIRE_DATA_ENV_VAR
 from repro.core.builder import build_network
 from repro.core.config import BestPeerConfig
 from repro.eval.experiment import ExperimentRunner, ParallelExperimentRunner
@@ -238,6 +239,52 @@ def test_32_node_flood_identical_compact_vs_pickle(monkeypatch):
     compact = _flood_observables()
     monkeypatch.setenv(WIRE_CODEC_ENV_VAR, "pickle")
     assert _flood_observables() == compact
+
+
+# ---------------------------------------------------------------------------
+# Data-plane streaming codec: REPRO_WIRE_DATA must be invisible
+# ---------------------------------------------------------------------------
+
+
+def test_series_identical_under_pickle_data_codec(monkeypatch, fastpath_results):
+    monkeypatch.setenv(WIRE_DATA_ENV_VAR, "pickle")
+    assert _run_figures() == fastpath_results
+
+
+def test_series_identical_under_pickle_data_codec_parallel(
+    monkeypatch, fastpath_results
+):
+    # Read from the environment on every encode, so the multiprocessing
+    # runner's workers inherit the switch like any other env var.
+    monkeypatch.setenv(WIRE_DATA_ENV_VAR, "pickle")
+    parallel = ParallelExperimentRunner(jobs=2)
+    fig5 = figure_5a(TINY, sizes=(1, 2, 4), runner=parallel)
+    fig8 = figure_8a(TINY, node_count=8, max_peers=4, holder_count=2, runner=parallel)
+    assert (fig5.series, fig8.series) == fastpath_results
+
+
+def test_wire_bytes_and_hops_identical_stream_vs_pickle(monkeypatch):
+    monkeypatch.delenv(WIRE_DATA_ENV_VAR, raising=False)
+    stream = _drive_deployment()
+    monkeypatch.setenv(WIRE_DATA_ENV_VAR, "pickle")
+    assert _drive_deployment() == stream
+
+
+def test_32_node_flood_identical_stream_vs_pickle(monkeypatch):
+    monkeypatch.delenv(WIRE_DATA_ENV_VAR, raising=False)
+    stream = _flood_observables()
+    monkeypatch.setenv(WIRE_DATA_ENV_VAR, "pickle")
+    assert _flood_observables() == stream
+
+
+def test_32_node_flood_identical_with_both_planes_on_pickle(monkeypatch):
+    # Both fallbacks together are the full pre-codec wire stack.
+    monkeypatch.delenv(WIRE_CODEC_ENV_VAR, raising=False)
+    monkeypatch.delenv(WIRE_DATA_ENV_VAR, raising=False)
+    fast = _flood_observables()
+    monkeypatch.setenv(WIRE_CODEC_ENV_VAR, "pickle")
+    monkeypatch.setenv(WIRE_DATA_ENV_VAR, "pickle")
+    assert _flood_observables() == fast
 
 
 def _faulted_observables(runner) -> tuple:

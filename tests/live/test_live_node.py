@@ -150,3 +150,32 @@ class TestLivePeerBasics:
     def test_distinct_identities(self, peers):
         a, b = peers("a"), peers("b")
         assert a.bpid != b.bpid
+
+
+class TestLiveBatchedAnswers:
+    def test_batch_is_recorded_answer_by_answer(self, peers):
+        """A remote sender may coalesce answers; the live node must
+        record each one individually (batch-blind query accounting)."""
+        from repro.agents.messages import AnswerItem, AnswerMessage, BatchedAnswers
+        from repro.live.engine import PROTO_ANSWER
+        from repro.storm.heapfile import RecordId
+
+        a, b = line_of(peers, 2)
+        query = a.issue_query("nothing-stored")
+        answers = tuple(
+            AnswerMessage(
+                query_id=query.query_id,
+                responder=b.bpid,
+                responder_address=b.endpoint.address,
+                hops=1,
+                items=(
+                    AnswerItem(
+                        rid=RecordId(0, i), keywords=("k",), size=1, payload=b"x"
+                    ),
+                ),
+            )
+            for i in range(3)
+        )
+        b.endpoint.send(a.endpoint.address, PROTO_ANSWER, BatchedAnswers(answers))
+        assert query.wait_for_answers(3, timeout=5.0)
+        assert tuple(query.answers) == answers

@@ -217,3 +217,112 @@ class TestCompactLiveFraming:
         with socket.create_connection(b.address, timeout=5.0) as sock:
             sock.sendall(struct.pack("<I", len(body)) + body)
         assert wait_until(lambda: b.decode_errors == 1)
+
+
+class TestDataLiveFraming:
+    """Data-registered messages cross the live wire as stream frames."""
+
+    def test_answer_round_trips_as_stream_frame(self, endpoints, monkeypatch):
+        from repro.agents.messages import _sample_answer
+        from repro.net import datacodec
+        from repro.live.transport import _encode_body
+        from repro.util.compression import DEFAULT_CODEC
+
+        monkeypatch.delenv(datacodec.WIRE_DATA_ENV_VAR, raising=False)
+        body = _encode_body("live.answer", _sample_answer(), DEFAULT_CODEC)
+        assert body[0] == datacodec.FRAME_MAGIC
+
+        a, b = endpoints(), endpoints()
+        received = []
+        b.bind("live.answer", lambda src, payload: received.append(payload))
+        a.send(b.address, "live.answer", _sample_answer())
+        assert wait_until(lambda: received)
+        assert received[0] == _sample_answer()
+
+    def test_batch_round_trips_and_stays_a_batch(self, endpoints, monkeypatch):
+        from repro.agents.messages import BatchedAnswers, _sample_answer
+        from repro.net import datacodec
+
+        monkeypatch.delenv(datacodec.WIRE_DATA_ENV_VAR, raising=False)
+        batch = BatchedAnswers([_sample_answer(1), _sample_answer(2)])
+        a, b = endpoints(), endpoints()
+        received = []
+        b.bind("live.answer", lambda src, payload: received.append(payload))
+        a.send(b.address, "live.answer", batch)
+        assert wait_until(lambda: received)
+        assert isinstance(received[0], BatchedAnswers)
+        assert received[0] == batch
+
+    def test_pickle_mode_skips_stream_framing(self, monkeypatch):
+        from repro.agents.messages import _sample_answer
+        from repro.net import datacodec
+        from repro.live.transport import _decode_body, _encode_body
+        from repro.util.compression import DEFAULT_CODEC
+
+        monkeypatch.setenv(datacodec.WIRE_DATA_ENV_VAR, "pickle")
+        body = _encode_body("live.answer", _sample_answer(), DEFAULT_CODEC)
+        assert body[0] == 0x1F  # gzip'd pickle, not a stream frame
+        assert _decode_body(body, DEFAULT_CODEC) == (
+            "live.answer",
+            _sample_answer(),
+        )
+
+    def test_corrupt_data_frame_counted_and_serve_loop_survives(self, endpoints):
+        import socket
+        import struct
+
+        from repro.agents.messages import _sample_answer
+        from repro.net import datacodec
+        from repro.net.faults import FrameFaultInjector
+        from repro.live.transport import _PROTO_LEN
+
+        b = endpoints()
+        received = []
+        b.bind("live.answer", lambda src, payload: received.append(payload))
+
+        injector = FrameFaultInjector(
+            seed=2, max_frame_bytes=datacodec.MAX_FRAME_BYTES
+        )
+        frame = injector.truncate(
+            datacodec.encode_message(_sample_answer()), keep=10
+        )
+        name = b"live.answer"
+        body = b"\xd7" + _PROTO_LEN.pack(len(name)) + name + frame
+        with socket.create_connection(b.address, timeout=5.0) as sock:
+            sock.sendall(struct.pack("<I", len(body)) + body)
+        assert wait_until(lambda: b.decode_errors == 1)
+        assert received == []
+
+        a = endpoints()
+        a.send(b.address, "live.answer", _sample_answer(2))
+        assert wait_until(lambda: received)
+        assert received == [_sample_answer(2)]
+        assert b.decode_errors == 1
+
+    def test_lazy_batch_corruption_counted_in_serve_loop(self, endpoints):
+        import socket
+        import struct
+
+        from repro.agents.messages import BatchedAnswers, _sample_answer
+        from repro.net import datacodec
+        from repro.live.transport import _PROTO_LEN
+
+        b = endpoints()
+        received = []
+        # The handler materializes the batch — inside the serve loop's
+        # decode-error guard, so deferred corruption is still counted.
+        b.bind(
+            "live.answer",
+            lambda src, payload: received.append(tuple(payload.answers)),
+        )
+
+        frame = bytearray(
+            datacodec.encode_message(BatchedAnswers([_sample_answer(1)]))
+        )
+        frame[-1] = 2  # trailing opt-presence byte: must be 0 or 1
+        name = b"live.answer"
+        body = b"\xd7" + _PROTO_LEN.pack(len(name)) + name + bytes(frame)
+        with socket.create_connection(b.address, timeout=5.0) as sock:
+            sock.sendall(struct.pack("<I", len(body)) + body)
+        assert wait_until(lambda: b.decode_errors == 1)
+        assert received == []

@@ -1,4 +1,4 @@
-"""Reusable protocol-conformance battery for the compact wire codec.
+"""Reusable protocol-conformance battery for the wire codecs.
 
 Subclass :class:`CodecConformance` in a test module and every registered
 message type is driven through round-trip, header, truncation, bit-flip,
@@ -12,6 +12,15 @@ two contracts:
   raises a typed :class:`~repro.errors.WireDecodeError` or (for body
   bit flips that stay self-consistent) decodes into a *registered*
   message type.  Nothing else may escape the decoder.
+
+The battery runs against the control codec by default; a subclass sets
+``codec`` to another module with the same surface (``encode_message``,
+``decode_message``, ``registered_specs``, ``spec_for_id``,
+``FRAME_MAGIC``, ``WIRE_FORMAT_VERSION``, ``HEADER_SIZE``,
+``MAX_FRAME_BYTES``) to drive a different frame format — the data-plane
+battery in ``test_datacodec.py`` does exactly that.  Both frame formats
+deliberately share the first four header bytes (magic, version, u16
+type id), which the fixed bit-flip positions below rely on.
 """
 
 from __future__ import annotations
@@ -19,16 +28,8 @@ from __future__ import annotations
 import pytest
 
 from repro.errors import WireDecodeError
-from repro.net.codec import (
-    FRAME_MAGIC,
-    HEADER_SIZE,
-    WIRE_FORMAT_VERSION,
-    decode_message,
-    encode_message,
-    load_registrations,
-    registered_specs,
-    spec_for_id,
-)
+from repro.net import codec as control_codec
+from repro.net.codec import load_registrations
 from repro.net.faults import FrameFaultInjector
 
 load_registrations()
@@ -41,29 +42,38 @@ def _spec_id(spec) -> str:
 class CodecConformance:
     """Mixin: parametrizes every test over all registered message specs."""
 
-    @pytest.fixture(params=registered_specs(), ids=_spec_id)
+    #: the codec module under test; subclasses may point this at any
+    #: module exposing the same encode/decode/registry surface
+    codec = control_codec
+
+    @pytest.fixture(params=control_codec.registered_specs(), ids=_spec_id)
     def spec(self, request):
         return request.param
 
     @pytest.fixture
     def frame(self, spec) -> bytes:
-        return encode_message(spec.sample())
+        return self.codec.encode_message(spec.sample())
 
     @pytest.fixture
     def injector(self) -> FrameFaultInjector:
-        return FrameFaultInjector(seed=0)
+        return FrameFaultInjector(seed=0, max_frame_bytes=self.codec.MAX_FRAME_BYTES)
+
+    def _force(self, decoded):
+        """Fully materialize a decoded message (lazy decoders override:
+        deferred corruption must surface as WireDecodeError here)."""
+        return decoded
 
     # -- round trip ---------------------------------------------------------
 
     def test_sample_round_trips(self, spec, frame):
-        assert decode_message(frame) == spec.sample()
+        assert self.codec.decode_message(frame) == spec.sample()
 
     def test_encoding_is_deterministic(self, spec, frame):
-        assert encode_message(spec.sample()) == frame
+        assert self.codec.encode_message(spec.sample()) == frame
 
     def test_frame_header(self, spec, frame):
-        assert frame[0] == FRAME_MAGIC
-        assert frame[1] == WIRE_FORMAT_VERSION
+        assert frame[0] == self.codec.FRAME_MAGIC
+        assert frame[1] == self.codec.WIRE_FORMAT_VERSION
         assert int.from_bytes(frame[2:4], "big") == spec.type_id
 
     # -- fault injection ----------------------------------------------------
@@ -71,14 +81,14 @@ class CodecConformance:
     def test_every_truncation_raises(self, frame, injector):
         for keep in range(len(frame)):
             with pytest.raises(WireDecodeError):
-                decode_message(injector.truncate(frame, keep=keep))
+                self._force(self.codec.decode_message(injector.truncate(frame, keep=keep)))
 
     def test_magic_and_version_bit_flips_raise(self, frame, injector):
         for position in (0, 1):
             for bit in range(8):
                 corrupted = injector.bit_flip(frame, position=position, bit=bit)
                 with pytest.raises(WireDecodeError):
-                    decode_message(corrupted)
+                    self._force(self.codec.decode_message(corrupted))
 
     def test_type_id_bit_flips_raise_or_alias_registered(self, spec, frame, injector):
         # A flipped type id usually misses the registry or mis-parses the
@@ -88,47 +98,56 @@ class CodecConformance:
             for bit in range(8):
                 corrupted = injector.bit_flip(frame, position=position, bit=bit)
                 try:
-                    decoded = decode_message(corrupted)
+                    decoded = self._force(self.codec.decode_message(corrupted))
                 except WireDecodeError:
                     continue
-                aliased = spec_for_id(int.from_bytes(corrupted[2:4], "big"))
+                aliased = self.codec.spec_for_id(int.from_bytes(corrupted[2:4], "big"))
                 assert aliased is not None
                 assert type(decoded) is aliased.cls
                 assert aliased.cls is not spec.cls
 
     def test_body_bit_flips_never_crash(self, frame, injector):
-        for position in range(HEADER_SIZE, len(frame)):
+        registered = {s.cls for s in self.codec.registered_specs()}
+        for position in range(self.codec.HEADER_SIZE, len(frame)):
             for bit in range(8):
                 corrupted = injector.bit_flip(frame, position=position, bit=bit)
                 try:
-                    decoded = decode_message(corrupted)
+                    decoded = self._force(self.codec.decode_message(corrupted))
                 except WireDecodeError:
                     continue  # the expected outcome for most flips
-                assert spec_for_id(int.from_bytes(corrupted[2:4], "big")) is not None
-                assert type(decoded) in {s.cls for s in registered_specs()}
+                assert (
+                    self.codec.spec_for_id(int.from_bytes(corrupted[2:4], "big"))
+                    is not None
+                )
+                assert type(decoded) in registered
 
     def test_wrong_version_raises(self, frame, injector):
-        for version in (0, WIRE_FORMAT_VERSION + 1, 0xFF):
+        for version in (0, self.codec.WIRE_FORMAT_VERSION + 1, 0xFF):
             with pytest.raises(WireDecodeError, match="version"):
-                decode_message(injector.wrong_version(frame, version=version))
+                self._force(
+                    self.codec.decode_message(
+                        injector.wrong_version(frame, version=version)
+                    )
+                )
 
     def test_oversized_frame_raises(self, frame, injector):
         with pytest.raises(WireDecodeError, match="oversized"):
-            decode_message(injector.oversize(frame))
+            self._force(self.codec.decode_message(injector.oversize(frame)))
 
     def test_trailing_garbage_raises(self, frame, injector):
         with pytest.raises(WireDecodeError, match="trailing"):
-            decode_message(injector.trailing_garbage(frame))
+            self._force(self.codec.decode_message(injector.trailing_garbage(frame)))
 
     def test_random_fault_battery(self, frame, injector):
         # Seeded random sweep across every fault class: nothing but
         # WireDecodeError (or a clean registered decode) may escape.
+        registered = {s.cls for s in self.codec.registered_specs()}
         for _round in range(25):
             for name, fault in injector.faults().items():
                 corrupted = fault(frame)
                 try:
-                    decoded = decode_message(corrupted)
+                    decoded = self._force(self.codec.decode_message(corrupted))
                 except WireDecodeError:
                     continue
                 assert name == "bit-flipped", f"{name} fault decoded cleanly"
-                assert type(decoded) in {s.cls for s in registered_specs()}
+                assert type(decoded) in registered

@@ -1,19 +1,23 @@
 """Packet codec tagging, lazy decode, the pickle fallback, and the
-drop-and-count behaviour of the delivery loop on corrupt frames."""
+drop-and-count behaviour of the delivery loop on corrupt frames —
+on both the control and the data plane."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.agents.messages import BatchedAnswers, _sample_answer
 from repro.errors import WireDecodeError
 from repro.ids import BPID
 from repro.liglo.messages import PROTO_PING, Ping, Pong
+from repro.net import datacodec
 from repro.net.codec import (
     CODEC_COMPACT,
     CODEC_PICKLE,
     WIRE_CODEC_ENV_VAR,
     encode_message,
 )
+from repro.net.datacodec import CODEC_STREAM, WIRE_DATA_ENV_VAR
 from repro.net.faults import FrameFaultInjector
 from repro.net.message import PACKET_OVERHEAD_BYTES, Packet
 from repro.net.network import Network
@@ -26,6 +30,7 @@ from repro.util.tracing import Tracer
 @pytest.fixture(autouse=True)
 def _default_codec_mode(monkeypatch):
     monkeypatch.delenv(WIRE_CODEC_ENV_VAR, raising=False)
+    monkeypatch.delenv(WIRE_DATA_ENV_VAR, raising=False)
 
 
 def _pair():
@@ -230,6 +235,135 @@ def test_corrupt_pickle_payload_is_also_dropped_and_counted():
         sent_at=sim.now,
         raw=raw,
         codec="no-such-codec",
+    )
+    bob._receive(packet)
+    sim.run()
+    assert received == []
+    assert network.decode_errors == 1
+
+
+def test_corrupt_pickle_bytes_raise_a_typed_decode_error():
+    """Garbage under the pickle tag must surface as WireDecodeError (the
+    delivery loop only counts typed errors), never a raw pickle exception."""
+    packet = Packet(
+        src=None,
+        dst=None,
+        protocol="blob",
+        wire_size=10,
+        sent_at=0.0,
+        raw=b"\x02not a pickle at all",
+        codec=CODEC_PICKLE,
+    )
+    with pytest.raises(WireDecodeError, match="corrupt pickle"):
+        packet.payload
+
+
+# ---------------------------------------------------------------------------
+# Data plane: stream frames, per-plane counters, drop-and-count
+# ---------------------------------------------------------------------------
+
+
+def test_data_registered_message_travels_as_stream_frame():
+    answer = _sample_answer()
+    network, packet, wire_size = _deliver_one(answer, protocol="answer")
+    frame = datacodec.encode_message(answer)
+    assert packet.codec == CODEC_STREAM
+    assert packet.raw == frame
+    assert packet.wire_size == len(frame) + PACKET_OVERHEAD_BYTES
+    assert wire_size == packet.wire_size
+    assert packet.payload == answer
+    assert network.encoder.data_frames == 1
+    assert network.encoder.compact_frames == 0
+    assert network.encoder.data_bytes == len(frame)
+
+
+def test_data_pickle_mode_ships_pickle_but_charges_the_frame_size(monkeypatch):
+    answer = _sample_answer()
+    stream_size = _deliver_one(answer, protocol="answer")[2]
+
+    monkeypatch.setenv(WIRE_DATA_ENV_VAR, "pickle")
+    network, packet, pickle_size = _deliver_one(answer, protocol="answer")
+    assert packet.codec == CODEC_PICKLE
+    assert packet.raw == serialize(answer)
+    assert packet.payload == answer
+    # The charged size must not depend on the selected data codec.
+    assert pickle_size == stream_size
+    assert network.encoder.data_frames == 1  # still took the stream sizing
+
+
+def test_encoder_cache_is_keyed_per_data_mode(monkeypatch):
+    encoder = WireEncoder(DEFAULT_CODEC)
+    answer = _sample_answer()
+
+    stream = encoder.encode(answer)
+    assert stream.codec == CODEC_STREAM
+
+    monkeypatch.setenv(WIRE_DATA_ENV_VAR, "pickle")
+    fallback = encoder.encode(answer)
+    assert fallback.codec == CODEC_PICKLE
+    assert fallback.compressed_size == stream.compressed_size
+    assert encoder.misses == 2 and encoder.hits == 0
+
+    assert encoder.encode(answer) is fallback
+    monkeypatch.delenv(WIRE_DATA_ENV_VAR)
+    assert encoder.encode(answer) is stream
+    assert encoder.hits == 2
+
+
+@pytest.mark.parametrize("fault", ["truncated", "bit-flipped", "wrong-version"])
+def test_corrupt_data_frame_is_dropped_and_counted(fault):
+    sim, network, alice, bob = _pair()
+    received = []
+    bob.bind("answer", lambda packet: received.append(packet.payload))
+
+    frame = datacodec.encode_message(_sample_answer())
+    injector = FrameFaultInjector(seed=1, max_frame_bytes=datacodec.MAX_FRAME_BYTES)
+    corrupted = injector.faults()[fault](frame)
+    if fault == "bit-flipped":
+        corrupted = bytes([frame[0] ^ 0x01]) + frame[1:]  # guaranteed-bad magic
+    packet = Packet(
+        src=alice.address,
+        dst=bob.address,
+        protocol="answer",
+        wire_size=len(corrupted) + PACKET_OVERHEAD_BYTES,
+        sent_at=sim.now,
+        raw=bytes(corrupted),
+        codec=CODEC_STREAM,
+    )
+    bob._receive(packet)
+    sim.run()
+
+    assert received == []
+    assert network.decode_errors == 1
+    assert network.tracer.counter("net", "decode-error") == 1
+
+    # The host keeps serving data frames afterwards.
+    alice.send(bob.address, "answer", _sample_answer(2))
+    sim.run()
+    assert received == [_sample_answer(2)]
+    assert network.decode_errors == 1
+
+
+def test_lazy_batch_corruption_is_counted_when_the_handler_reads_it():
+    """Record-level corruption passes decode_message (boundaries are
+    fine) and must still land in decode_errors when the handler
+    materializes the batch — the deferred half of drop-don't-crash."""
+    sim, network, alice, bob = _pair()
+    received = []
+    bob.bind("answer", lambda packet: received.append(packet.payload.answers))
+
+    frame = bytearray(
+        datacodec.encode_message(BatchedAnswers([_sample_answer(1)]))
+    )
+    frame[-1] = 2  # the sample's trailing opt-presence byte: must be 0/1
+    packet = Packet(
+        src=alice.address,
+        dst=bob.address,
+        protocol="answer",
+        wire_size=len(frame) + PACKET_OVERHEAD_BYTES,
+        sent_at=sim.now,
+        raw=bytes(frame),
+        codec=CODEC_STREAM,
     )
     bob._receive(packet)
     sim.run()
