@@ -37,8 +37,10 @@ from repro.core import (
     MinHopsStrategy,
     PeerTable,
     QueryHandle,
+    RoutingStrategy,
     build_network,
     make_reconfig_strategy,
+    make_routing_strategy,
 )
 from repro.errors import ReproError
 from repro.ids import BPID
@@ -63,7 +65,9 @@ __all__ = [
     "ActiveObject",
     "MaxCountStrategy",
     "MinHopsStrategy",
+    "RoutingStrategy",
     "make_reconfig_strategy",
+    "make_routing_strategy",
     # agents
     "Agent",
     "AgentCosts",

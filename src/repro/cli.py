@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Sequence
 
-from repro.eval import ablations, churn, figures
+from repro.eval import ablations, churn, figures, routing
 from repro.eval.experiment import (
     ExperimentRunner,
     FigureResult,
@@ -38,6 +38,7 @@ FIGURES: dict[str, Callable[[FigureParams], FigureResult]] = {
     "8a": figures.figure_8a,
     "8b": figures.figure_8b,
     "churn": churn.figure_churn,
+    "routing": routing.figure_routing,
 }
 
 ABLATIONS: dict[str, Callable[[FigureParams], FigureResult]] = {
@@ -137,6 +138,12 @@ def _run_figure(args: argparse.Namespace) -> int:
         print()
         print("per-trial degradation detail:")
         print(format_churn_trials(churn.figure_churn.last_trials))
+    elif args.name == "routing":
+        from repro.eval.report import format_routing_trials
+
+        print()
+        print("per-strategy recall/traffic detail:")
+        print(format_routing_trials(routing.figure_routing.last_trials))
     return 0
 
 

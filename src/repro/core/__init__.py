@@ -1,7 +1,8 @@
 """BestPeer core: the node software and its self-configuration machinery.
 
 ``config``    node configuration and cost-model knobs
-``reconfig``  reconfiguration strategies (MaxCount, MinHops, ...)
+``routing``   pluggable routing strategies (selection + forwarding)
+``reconfig``  the pre-framework strategy surface (compat shim)
 ``peers``     the direct-peer table
 ``query``     query lifecycle: answers, observations, completion
 ``sharing``   static files, active objects, compute shipping
@@ -29,6 +30,14 @@ from repro.core.reconfig import (
     StaticStrategy,
     make_reconfig_strategy,
 )
+from repro.core.routing import (
+    CostAwareStrategy,
+    QueryHistoryStrategy,
+    RoutingStrategy,
+    SuperPeerStrategy,
+    make_routing_strategy,
+    registered_strategies,
+)
 from repro.core.sharing import ActiveObject, ShareCatalog
 from repro.core.shipping import (
     AdaptiveShippingPolicy,
@@ -54,6 +63,12 @@ __all__ = [
     "StaticStrategy",
     "PeerObservation",
     "make_reconfig_strategy",
+    "RoutingStrategy",
+    "QueryHistoryStrategy",
+    "SuperPeerStrategy",
+    "CostAwareStrategy",
+    "make_routing_strategy",
+    "registered_strategies",
     "ActiveObject",
     "ShareCatalog",
     "ShippingPolicy",

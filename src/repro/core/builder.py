@@ -9,6 +9,7 @@ methodology calls for.
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Callable, Sequence
 
 from repro.core.config import BestPeerConfig
@@ -92,6 +93,7 @@ def build_network(
     tracer: Tracer | None = None,
     sim: Simulator | None = None,
     storm_factory: Callable[[int], "StorM"] | None = None,
+    strategy: str | None = None,
 ) -> BestPeerNetwork:
     """Build a ready-to-run BestPeer network.
 
@@ -108,6 +110,11 @@ def build_network(
     ``storm_factory`` supplies node ``i``'s pre-built store (experiment
     provisioning: bulk-loaded or template-cloned stores); without it
     every node opens an empty default store.
+
+    ``strategy`` overrides the routing-strategy name on every node's
+    config (strategy-comparison experiments that hold everything else
+    constant); per-node configs still win by passing a ``config``
+    sequence instead.
     """
     if node_count < 1:
         raise BestPeerError(f"need >= 1 node, got {node_count}")
@@ -126,6 +133,8 @@ def build_network(
             raise BestPeerError(
                 f"{len(configs)} configs for {node_count} nodes"
             )
+    if strategy is not None:
+        configs = [replace(cfg, strategy=strategy) for cfg in configs]
     sim = sim if sim is not None else Simulator()
     tracer = tracer if tracer is not None else NULL_TRACER
     network = Network(

@@ -27,7 +27,9 @@ class BestPeerConfig:
     ttl: int = DEFAULT_TTL
     #: "direct" ships payloads in answers; "metadata" defers to fetches
     result_mode: str = MODE_DIRECT
-    #: reconfiguration strategy name: maxcount | minhops | random | static
+    #: routing strategy name (selection + forwarding; see
+    #: repro.core.routing): maxcount | minhops | random | static |
+    #: history | superpeer | costaware
     strategy: str = "maxcount"
     #: search with the inverted index instead of the paper's full scan
     use_index: bool = False
@@ -49,6 +51,15 @@ class BestPeerConfig:
     suspect_after: int = 3
     #: seed scope for retry jitter (combined with the node name)
     retry_seed: int = 0
+    #: flood fan-out cap honoured by ordering strategies such as
+    #: query-history routing (None floods every live peer)
+    routing_fanout: int | None = None
+    #: publish per-keyword hint digests to this node's LIGLO on share;
+    #: super-peer routing publishes regardless of this flag
+    publish_hints: bool = False
+    #: how long a super-peer hint fetch waits before falling back to a
+    #: plain flood (kept well under any query quiet period)
+    hint_timeout: float = 1.0
 
     def __post_init__(self) -> None:
         if self.suspect_after < 1:
@@ -67,3 +78,9 @@ class BestPeerConfig:
             raise BestPeerError(f"cpu_threads must be >= 1, got {self.cpu_threads}")
         if self.fetch_timeout <= 0:
             raise BestPeerError(f"fetch_timeout must be > 0, got {self.fetch_timeout}")
+        if self.routing_fanout is not None and self.routing_fanout < 1:
+            raise BestPeerError(
+                f"routing_fanout must be >= 1, got {self.routing_fanout}"
+            )
+        if self.hint_timeout <= 0:
+            raise BestPeerError(f"hint_timeout must be > 0, got {self.hint_timeout}")

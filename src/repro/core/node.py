@@ -37,11 +37,8 @@ from repro.core.discovery import (
 )
 from repro.core.peers import PeerInfo, PeerTable
 from repro.core.query import QueryHandle
-from repro.core.reconfig import (
-    PeerObservation,
-    ReconfigurationStrategy,
-    make_reconfig_strategy,
-)
+from repro.core.reconfig import PeerObservation, ReconfigurationStrategy
+from repro.core.routing import make_routing_strategy, routing_bypassed
 from repro.core.sharing import (
     PROTO_ACTIVE,
     PROTO_ACTIVE_REPLY,
@@ -99,7 +96,7 @@ class BestPeerNode:
         self.strategy = (
             strategy
             if strategy is not None
-            else make_reconfig_strategy(self.config.strategy)
+            else make_routing_strategy(self.config.strategy)
         )
         #: jitter stream for every retry this node performs; derived from
         #: the config seed and the node name, so runs replay bit-identically
@@ -144,6 +141,15 @@ class BestPeerNode:
         self.host.bind(PROTO_DATA_REPLY, self._on_data_reply)
         self.knowledge = KnowledgeBase()
         self.host.bind(PROTO_DISCOVERY_REPORT, self._on_discovery_report)
+        #: keywords already reported to our LIGLO's hint directory
+        self._published_hints: set[str] = set()
+        #: super-peer routing counters (hint directory consultations)
+        self.hint_queries = 0
+        self.hint_hits = 0
+        self.hint_fallbacks = 0
+        bind = getattr(self.strategy, "bind", None)
+        if bind is not None:
+            bind(self)
 
     # -- identity & membership -------------------------------------------------
 
@@ -197,12 +203,22 @@ class BestPeerNode:
         )
 
     def _flood_addresses(self) -> list[IPAddress]:
-        """Fan-out targets: every direct peer not suspected dead.
+        """Relay fan-out: where a flood travelling *through* us goes next.
 
-        In a healthy network no peer is suspect, so this is exactly the
-        full peer list — floods are unchanged until timeouts accumulate.
+        The routing strategy shapes the list (ordering, fan-out caps);
+        the default strategy behaviour — and ``REPRO_ROUTING=legacy`` —
+        is every direct peer not suspected dead, in table order, so in a
+        healthy network floods are unchanged until timeouts accumulate.
+        Relays have no keyword context (the engine forwards clones
+        before executing the agent), so keyword-aware ordering only
+        applies at the initiator.
         """
-        return self.peers.live_addresses()
+        if routing_bypassed():
+            return self.peers.live_addresses()
+        flood = getattr(self.strategy, "flood_targets", None)
+        if flood is None:
+            return self.peers.live_addresses()
+        return flood(None, self.peers.entries())
 
     def leave(self) -> None:
         """Disconnect from the network (the address lease is released)."""
@@ -321,13 +337,47 @@ class BestPeerNode:
 
     def share(self, keywords: Sequence[str], payload: bytes) -> RecordId:
         """Publish a static object into this node's sharable StorM store."""
-        return self.storm.put(keywords, payload)
+        rid = self.storm.put(keywords, payload)
+        self._publish_hints(keywords)
+        return rid
 
     def share_many(
         self, objects: Sequence[tuple[Sequence[str], bytes]]
     ) -> list[RecordId]:
         """Publish a batch of objects via StorM's bulk-load fast path."""
-        return self.storm.put_many(objects)
+        rids = self.storm.put_many(objects)
+        self._publish_hints(
+            [keyword for keywords, _payload in objects for keyword in keywords]
+        )
+        return rids
+
+    def _publish_hints(self, keywords: Sequence[str]) -> None:
+        """Report newly shared keywords to our LIGLO's hint directory.
+
+        Only when hint publishing is on (super-peer routing, or the
+        ``publish_hints`` config flag for nodes that feed the directory
+        without routing by it), and only for keywords not reported
+        before, so repeated sharing costs no extra control traffic.
+        """
+        if routing_bypassed():
+            return
+        if not (
+            self.config.publish_hints
+            or getattr(self.strategy, "uses_hint_directory", False)
+        ):
+            return
+        if self.liglo.bpid is None or not self.host.online:
+            return
+        from repro.storm.objects import normalize_keyword
+
+        fresh = sorted(
+            {normalize_keyword(keyword) for keyword in keywords}
+            - self._published_hints
+        )
+        if not fresh:
+            return
+        self._published_hints.update(fresh)
+        self.liglo.publish_hints(fresh)
 
     def share_active(
         self, name: str, data: bytes, element: sharing.ActiveElement
@@ -379,12 +429,15 @@ class BestPeerNode:
             # The flood skips suspected-dead peers: the query still runs,
             # but the caller can see its answer set may be partial.
             handle.mark_degraded("suspect-peer-skipped")
-        self.engine.dispatch(
-            agent,
-            query_id=query_id,
-            ttl=ttl if ttl is not None else self.config.ttl,
-            mode=MODE_FLOOD,
-        )
+        ttl_value = ttl if ttl is not None else self.config.ttl
+        if (
+            not routing_bypassed()
+            and getattr(self.strategy, "uses_hint_directory", False)
+            and self.liglo.bpid is not None
+        ):
+            self._dispatch_with_hints(handle, agent, ttl_value)
+        else:
+            self._dispatch_flood(handle, agent, ttl_value)
         self.tracer.record(
             self.sim.now,
             "node",
@@ -396,6 +449,82 @@ class BestPeerNode:
         if auto_finish_after is not None:
             self._arm_auto_finish(handle, auto_finish_after)
         return handle
+
+    def _dispatch_flood(self, handle: QueryHandle, agent: Agent, ttl: int) -> None:
+        """Flood the search agent, fan-out shaped by the routing strategy.
+
+        Under ``REPRO_ROUTING=legacy`` (or with a strategy predating the
+        routing framework) the engine pulls the fan-out from
+        :meth:`_flood_addresses` itself — the pre-framework path.
+        """
+        assert self.engine is not None
+        targets = None
+        if not routing_bypassed():
+            flood = getattr(self.strategy, "flood_targets", None)
+            if flood is not None:
+                targets = flood(handle.keyword, self.peers.entries())
+        self.engine.dispatch(
+            agent,
+            query_id=handle.query_id,
+            ttl=ttl,
+            mode=MODE_FLOOD,
+            targets=targets,
+        )
+
+    def _dispatch_with_hints(
+        self, handle: QueryHandle, agent: Agent, ttl: int
+    ) -> None:
+        """Super-peer routing: ask our LIGLO who holds the keyword first.
+
+        With hints, the agent ships straight to the holders with TTL 1 —
+        no relaying, no duplicate-agent dedup traffic.  Without hints
+        (empty directory, LIGLO outage) the query falls back to a plain
+        flood, so recall is never worse than flooding.
+        """
+        self.hint_queries += 1
+
+        def on_hints(reply) -> None:
+            if handle.finished or self.engine is None:
+                return
+            holders = (
+                []
+                if reply is None
+                else [
+                    (bpid, address)
+                    for bpid, address in reply.holders
+                    if bpid != self.bpid
+                ]
+            )
+            if not holders:
+                self.hint_fallbacks += 1
+                self.tracer.record(
+                    self.sim.now, "node", "hint-fallback", node=self.name
+                )
+                self._dispatch_flood(handle, agent, ttl)
+                return
+            self.hint_hits += 1
+            self.tracer.record(
+                self.sim.now,
+                "node",
+                "hint-route",
+                node=self.name,
+                holders=len(holders),
+            )
+            self.engine.dispatch(
+                agent,
+                query_id=handle.query_id,
+                ttl=1,
+                mode=MODE_FLOOD,
+                targets=[address for _bpid, address in holders],
+            )
+
+        from repro.storm.objects import normalize_keyword
+
+        self.liglo.fetch_hints(
+            normalize_keyword(handle.keyword),
+            on_hints,
+            timeout=self.config.hint_timeout,
+        )
 
     def dispatch_agent(self, agent: Agent, **kwargs: Any) -> AgentId:
         """Send a custom agent into the network (compute sharing)."""
@@ -444,7 +573,16 @@ class BestPeerNode:
 
     def _reconfigure(self, handle: QueryHandle) -> None:
         observations = self._observations_from(handle)
-        selected = self.strategy.select(observations, self.config.max_direct_peers)
+        observe = getattr(self.strategy, "observe", None)
+        if observe is not None:
+            observe(handle.keyword, observations)
+        selector = getattr(self.strategy, "select_for", None)
+        if selector is not None:
+            selected = selector(
+                observations, self.config.max_direct_peers, keyword=handle.keyword
+            )
+        else:  # a pre-framework strategy with only the two-arg contract
+            selected = self.strategy.select(observations, self.config.max_direct_peers)
         before = set(self.peers.bpids())
         now = self.sim.now
         new_entries = []
@@ -910,6 +1048,10 @@ class BestPeerNode:
             "request_timeouts": sum(self.request_timeouts.values()),
             "request_retries": self.request_retries,
             "liglo_retries": self.liglo.retries,
+            "hint_queries": self.hint_queries,
+            "hint_hits": self.hint_hits,
+            "hint_fallbacks": self.hint_fallbacks,
+            "hint_keywords_published": len(self._published_hints),
         }
         if self.engine is not None:
             stats["agents_executed"] = self.engine.agents_executed

@@ -1,146 +1,47 @@
 """Reconfiguration strategies: who stays a direct peer.
 
-After each query the node observes, for every candidate (current direct
-peers plus every responder), how many answers it returned and from how
-many hops away.  The strategy ranks the candidates and the node keeps
-the top ``k``.
-
-Paper strategies:
-
-* **MaxCount** — "sorts the peers based on the number of answers they
-  returned ... ties are arbitrarily broken.  The k peers with the
-  highest values are retained."  (Our arbitrary tie-break is
-  deterministic: current peers first, then BPID order, so runs are
-  reproducible.)
-* **MinHops** — "orders peers based on the number of hops, and pick
-  those with the larger hops values as the immediate peers.  In the
-  event of ties, the one with the larger number of answers is
-  preferred."  Bringing far answer-bearers close minimizes the hops
-  needed to reach everything.
-
-Extras for ablations: ``random`` replacement and ``static`` (the BPS
-scheme — reconfiguration turned off).
+This module is the backward-compatible face of the routing framework in
+:mod:`repro.core.routing`, which owns the strategy implementations since
+they grew a second responsibility (query forwarding) next to the
+paper's selection contract.  Everything importable here before the
+refactor still is: :class:`PeerObservation`, the four paper strategies
+(bit-identical sort keys), and the name-based factory —
+``ReconfigurationStrategy`` is now an alias of
+:class:`~repro.core.routing.RoutingStrategy`, so subclasses written
+against the old two-method surface keep working unmodified.
 """
 
 from __future__ import annotations
 
-import random
-from dataclasses import dataclass
-from typing import Sequence
+from repro.core.routing.base import (
+    PeerObservation,
+    RoutingStrategy,
+    make_routing_strategy,
+    registered_strategies,
+)
+from repro.core.routing.classic import (
+    MaxCountStrategy,
+    MinHopsStrategy,
+    RandomReplacementStrategy,
+    StaticStrategy,
+)
 
-from repro.errors import BestPeerError
-from repro.ids import BPID
-from repro.net.address import IPAddress
-
-
-@dataclass(frozen=True, slots=True)
-class PeerObservation:
-    """Everything a node learned about one candidate in one query."""
-
-    bpid: BPID
-    address: IPAddress
-    #: answers this candidate returned for the query (0 if silent)
-    answers: int = 0
-    #: overlay distance piggybacked with the answers; None if silent
-    hops: int | None = None
-    #: is the candidate currently a direct peer?
-    is_current: bool = False
-
-
-class ReconfigurationStrategy:
-    """Ranks candidates; the node keeps the top ``k``."""
-
-    name = "abstract"
-
-    def select(
-        self, candidates: Sequence[PeerObservation], k: int
-    ) -> list[PeerObservation]:
-        """Return at most ``k`` observations, highest priority first."""
-        raise NotImplementedError
-
-
-class MaxCountStrategy(ReconfigurationStrategy):
-    """Keep the peers that returned the most answers."""
-
-    name = "maxcount"
-
-    def select(
-        self, candidates: Sequence[PeerObservation], k: int
-    ) -> list[PeerObservation]:
-        ranked = sorted(
-            candidates,
-            key=lambda obs: (-obs.answers, not obs.is_current, str(obs.bpid)),
-        )
-        return ranked[:k]
-
-
-class MinHopsStrategy(ReconfigurationStrategy):
-    """Keep the *farthest* answer-bearing peers (larger hops first).
-
-    Candidates that returned no answers carry no hops evidence and rank
-    below every responder.
-    """
-
-    name = "minhops"
-
-    def select(
-        self, candidates: Sequence[PeerObservation], k: int
-    ) -> list[PeerObservation]:
-        ranked = sorted(
-            candidates,
-            key=lambda obs: (
-                -(obs.hops if obs.hops is not None else -1),
-                -obs.answers,
-                not obs.is_current,
-                str(obs.bpid),
-            ),
-        )
-        return ranked[:k]
-
-
-class RandomReplacementStrategy(ReconfigurationStrategy):
-    """Keep a uniformly random subset — the ablation control."""
-
-    name = "random"
-
-    def __init__(self, seed: int = 0):
-        self._rng = random.Random(seed)
-
-    def select(
-        self, candidates: Sequence[PeerObservation], k: int
-    ) -> list[PeerObservation]:
-        ordered = sorted(candidates, key=lambda obs: str(obs.bpid))
-        if len(ordered) <= k:
-            return ordered
-        return self._rng.sample(ordered, k)
-
-
-class StaticStrategy(ReconfigurationStrategy):
-    """No reconfiguration: current peers stay (the paper's BPS scheme)."""
-
-    name = "static"
-
-    def select(
-        self, candidates: Sequence[PeerObservation], k: int
-    ) -> list[PeerObservation]:
-        return [obs for obs in candidates if obs.is_current][:k]
-
-
-_STRATEGIES = {
-    "maxcount": MaxCountStrategy,
-    "minhops": MinHopsStrategy,
-    "random": RandomReplacementStrategy,
-    "static": StaticStrategy,
-}
+#: The pre-framework name for the strategy base class.
+ReconfigurationStrategy = RoutingStrategy
 
 
 def make_reconfig_strategy(name: str, **kwargs) -> ReconfigurationStrategy:
-    """Construct a reconfiguration strategy by name."""
-    try:
-        factory = _STRATEGIES[name]
-    except KeyError:
-        known = ", ".join(sorted(_STRATEGIES))
-        raise BestPeerError(
-            f"unknown reconfiguration strategy {name!r}; known: {known}"
-        ) from None
-    return factory(**kwargs)
+    """Construct a reconfiguration strategy by name (routing registry)."""
+    return make_routing_strategy(name, **kwargs)
+
+
+__all__ = [
+    "PeerObservation",
+    "ReconfigurationStrategy",
+    "MaxCountStrategy",
+    "MinHopsStrategy",
+    "RandomReplacementStrategy",
+    "StaticStrategy",
+    "make_reconfig_strategy",
+    "registered_strategies",
+]

@@ -1,0 +1,33 @@
+"""Super-peer routing: consult the LIGLO hint directory before flooding.
+
+Super-peer query routing (arxiv 1111.5518) concentrates routing state
+in an index tier — which our LIGLO servers already are.  Nodes publish
+a per-keyword digest of what they share to their LIGLO
+(:class:`repro.liglo.messages.HintPublish`); a querying node first asks
+its LIGLO which *online* members hold the keyword
+(:class:`~repro.liglo.messages.HintQuery` /
+:class:`~repro.liglo.messages.HintReply`, compact-codec control frames)
+and ships the search agent straight to those holders with TTL 1 —
+no relaying, no duplicate-agent dedup traffic.  When the directory has
+no hints, or the LIGLO never answers (outage), the node falls back to a
+normal flood, so recall is never *worse* than flooding.
+
+The hint exchange itself lives in ``repro.liglo`` (client ops + server
+directory); this class carries the selection policy and the
+``uses_hint_directory`` flag the node keys the forwarding path on.
+Selection reuses MaxCount's ranking — with targeted dispatch every
+holder answers from hop 1, so answer-count is the signal that remains.
+"""
+
+from __future__ import annotations
+
+from repro.core.routing.base import register_strategy
+from repro.core.routing.classic import MaxCountStrategy
+
+
+@register_strategy
+class SuperPeerStrategy(MaxCountStrategy):
+    """Hint-directory forwarding with MaxCount selection."""
+
+    name = "superpeer"
+    uses_hint_directory = True

@@ -181,3 +181,38 @@ def format_churn_trials(trials: Sequence[dict]) -> str:
         ["scheme", "rate", "recall", "degraded", "suspects", "drops", "faults"],
         rows,
     )
+
+
+def format_routing_trials(trials: Sequence[dict]) -> str:
+    """Render routing trial dicts (one per (strategy, rate) point).
+
+    The recall-vs-traffic trade each strategy makes: mean recall next to
+    messages and bytes per query, plus the hint-directory counters that
+    explain *how* super-peer routing got its number (hits route TTL-1 to
+    holders; fallbacks flood like everyone else).
+    """
+    rows = []
+    for trial in trials:
+        rows.append(
+            [
+                trial["strategy"],
+                trial["rate"],
+                trial["mean_recall"],
+                trial["messages_per_query"],
+                trial["bytes_per_query"],
+                f"{trial['hint_hits']}/{trial['hint_queries']}",
+                trial["degraded_queries"],
+            ]
+        )
+    return format_table(
+        [
+            "strategy",
+            "rate",
+            "recall",
+            "msgs/query",
+            "bytes/query",
+            "hint hits",
+            "degraded",
+        ],
+        rows,
+    )

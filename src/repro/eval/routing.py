@@ -1,0 +1,187 @@
+"""Recall vs. traffic across routing strategies — clean and under churn.
+
+The routing-framework comparison the ROADMAP asks for: every registered
+:mod:`repro.core.routing` strategy runs the same workload as the churn
+figure (a base node queries while each other node holds exactly one
+matching object), clean (`rate 0`) and under the PR 4 fault plan
+(session churn + LIGLO outage + partition).  Per (strategy, rate) point
+the trial records *recall* and the two traffic prices the strategies
+trade against it: *messages per query* and *bytes per query*, counted
+from just before the first query so store population and registration
+don't pollute the comparison (setup traffic is reported separately).
+
+This is where super-peer routing earns its keep: with the hint
+directory populated, the search agent ships straight to the holders
+with TTL 1 instead of flooding the overlay, cutting messages per query
+well below MaxCount at equal recall.
+
+Every stochastic choice — topology, link-cost tiers, fault timeline,
+retry jitter — derives from the params seed, so every point replays
+bit-identically, serial or parallel.
+"""
+
+from __future__ import annotations
+
+from repro.core.builder import build_network
+from repro.core.config import BestPeerConfig
+from repro.core.routing import registered_strategies
+from repro.eval.churn import CHURN_HORIZON, CHURN_RETRY_POLICY, QUERY_QUIET_PERIOD, _fault_plan
+from repro.eval.experiment import ExperimentRunner, FigureResult
+from repro.eval.figures import FigureParams, _run_tasks
+from repro.faults import SimFaultInjector
+from repro.net.link import LinkModel
+from repro.topology.builders import random_graph
+from repro.util.randomness import derive_rng
+from repro.workloads.corpus import KeywordCorpus
+
+#: Churn rates every strategy is measured at (clean + the stress point).
+DEFAULT_ROUTING_RATES = (0.0, 0.3)
+
+#: Latency of the "far" link tier (vs the 0.005 s default) — gives the
+#: cost-aware strategy a real gradient to rank on, P4P-style.
+FAR_LINK = LinkModel(latency=0.02)
+
+#: Fraction of nodes placed behind far links.
+FAR_FRACTION = 0.33
+
+
+def _apply_link_tiers(deployment, seed: int) -> list[str]:
+    """Deterministically place ~1/3 of the nodes behind expensive links.
+
+    Links are per directed address pair, both directions, between every
+    host pair that involves a far node.  (A churn rejoin leases a fresh
+    address, which falls back to the default link — the tiers price the
+    *initial* overlay, which is where selection decisions concentrate.)
+    """
+    rng = derive_rng(seed, "routing", "links")
+    far_nodes = [
+        node for node in deployment.nodes[1:] if rng.random() < FAR_FRACTION
+    ]
+    hosts = [node.host.address for node in deployment.nodes]
+    for far in far_nodes:
+        far_address = far.host.address
+        for address in hosts:
+            if address == far_address:
+                continue
+            deployment.network.set_link(address, far_address, FAR_LINK)
+            deployment.network.set_link(far_address, address, FAR_LINK)
+    return [node.name for node in far_nodes]
+
+
+def routing_trial(task: tuple[str, float, int, FigureParams]) -> dict:
+    """One (strategy, churn rate) point; module-level so it pickles to
+    the parallel runner's workers."""
+    strategy, rate, node_count, params = task
+    config = BestPeerConfig(
+        max_direct_peers=8,
+        ttl=max(7, node_count),
+        strategy=strategy,
+        retry_policy=CHURN_RETRY_POLICY,
+        suspect_after=2,
+        retry_seed=params.seed,
+        agent_costs=params.costs,
+    )
+    topology = random_graph(node_count, degree=3, seed=params.seed)
+    deployment = build_network(node_count, config=config, topology=topology)
+    far_nodes = _apply_link_tiers(deployment, params.seed)
+    keyword = KeywordCorpus(params.corpus_size).keyword(0)
+    # One distinct matching object per non-base node: recall is simply
+    # answers-received over (node_count - 1).
+    for index, node in enumerate(deployment.nodes[1:], 1):
+        node.share_many([([keyword], index.to_bytes(4, "big") * 16)])
+    churnable = [node.name for node in deployment.nodes[1:]]  # base never churns
+    injector = SimFaultInjector(
+        deployment, _fault_plan(churnable, rate, params.seed), tracer=deployment.tracer
+    )
+    injector.arm()
+    base = deployment.base
+    handles: list = []
+    setup = {"packets": 0, "bytes": 0}
+
+    def mark_setup_done() -> None:
+        # Everything delivered so far — registration, hint publishes —
+        # is setup; the per-query traffic accounting starts here.
+        setup["packets"] = deployment.network.packets_delivered
+        setup["bytes"] = deployment.network.bytes_carried
+
+    def issue() -> None:
+        handles.append(
+            base.issue_query(keyword, auto_finish_after=QUERY_QUIET_PERIOD)
+        )
+
+    step = CHURN_HORIZON / params.queries
+    deployment.sim.schedule(1.9, mark_setup_done)
+    for q in range(params.queries):
+        deployment.sim.schedule(2.0 + q * step, issue)
+    deployment.sim.run()
+    expected = node_count - 1
+    recalls = [
+        round(handle.network_answer_count / expected, 6) for handle in handles
+    ]
+    query_packets = deployment.network.packets_delivered - setup["packets"]
+    query_bytes = deployment.network.bytes_carried - setup["bytes"]
+    return {
+        "strategy": strategy,
+        "rate": rate,
+        "recalls": recalls,
+        "mean_recall": round(sum(recalls) / len(recalls), 6) if recalls else 0.0,
+        "messages_per_query": round(query_packets / max(len(handles), 1), 3),
+        "bytes_per_query": round(query_bytes / max(len(handles), 1), 1),
+        "setup_packets": setup["packets"],
+        "setup_bytes": setup["bytes"],
+        "packets_delivered": deployment.network.packets_delivered,
+        "bytes_carried": deployment.network.bytes_carried,
+        "packets_dropped": deployment.network.packets_dropped,
+        "drops_by_reason": dict(sorted(deployment.network.drops_by_reason.items())),
+        "degraded_queries": sum(1 for handle in handles if handle.degraded),
+        "faults_applied": dict(sorted(injector.applied.items())),
+        "far_nodes": far_nodes,
+        "hint_queries": base.hint_queries,
+        "hint_hits": base.hint_hits,
+        "hint_fallbacks": base.hint_fallbacks,
+    }
+
+
+def figure_routing(
+    params: FigureParams,
+    node_count: int = 12,
+    churn_rates: tuple[float, ...] = DEFAULT_ROUTING_RATES,
+    strategies: tuple[str, ...] | None = None,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
+    """Recall vs. churn rate for every registered routing strategy.
+
+    The plotted series carry mean recall; the full traffic observables
+    (messages/bytes per query, hint-directory counters, drop and fault
+    counts) are attached as ``figure_routing.last_trials`` after each
+    call, exactly like the churn figure does.
+    """
+    if node_count < 3:
+        raise ValueError(f"routing experiment needs >= 3 nodes, got {node_count}")
+    names = (
+        strategies if strategies is not None else tuple(registered_strategies())
+    )
+    tasks = [
+        (strategy, rate, node_count, params)
+        for strategy in names
+        for rate in churn_rates
+    ]
+    trials = _run_tasks(runner, routing_trial, tasks)
+    result = FigureResult(
+        figure="routing",
+        title=(
+            f"Routing strategies: recall vs traffic ({node_count} nodes, "
+            f"{params.queries} queries)"
+        ),
+        x_label="churn rate",
+        y_label="mean recall",
+        notes=(
+            "per-strategy traffic (messages/bytes per query) in trial "
+            "details; seeded fault plan as the churn figure; ~1/3 of the "
+            "nodes sit behind 4x-latency links (cost-aware gradient)"
+        ),
+    )
+    for trial in trials:
+        result.add_point(trial["strategy"], trial["rate"], trial["mean_recall"])
+    figure_routing.last_trials = trials  # type: ignore[attr-defined]
+    return result

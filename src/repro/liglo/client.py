@@ -69,10 +69,15 @@ class LigloClient:
         self._pending_resolves: dict[
             int, tuple[Callable[[m.ResolveReply | None], None], BPID, int, bool]
         ] = {}
+        #: token -> (callback, keyword) for in-flight hint fetches
+        self._pending_hints: dict[
+            int, tuple[Callable[[m.HintReply | None], None], str]
+        ] = {}
         #: re-sends triggered by the retry policy
         self.retries = 0
         host.bind(m.PROTO_REGISTER_REPLY, self._on_register_reply)
         host.bind(m.PROTO_RESOLVE_REPLY, self._on_resolve_reply)
+        host.bind(m.PROTO_HINT_REPLY, self._on_hint_reply)
         host.bind(m.PROTO_PING, self._on_ping)
 
     def pending_counts(self) -> dict[str, int]:
@@ -80,6 +85,7 @@ class LigloClient:
         return {
             "registers": len(self._pending_registers),
             "resolves": len(self._pending_resolves),
+            "hints": len(self._pending_hints),
         }
 
     # -- registration -------------------------------------------------------------
@@ -340,6 +346,63 @@ class LigloClient:
             )
             return
         callback(None)
+
+    # -- keyword hints (super-peer routing) ----------------------------------------
+
+    def publish_hints(self, keywords: Sequence[str]) -> None:
+        """Report keywords we share to our LIGLO's hint directory.
+
+        Fire-and-forget, like :meth:`announce`: the directory is a
+        routing accelerator, not ground truth — a lost publish only
+        means queries for those keywords fall back to flooding.
+        """
+        if self.bpid is None:
+            raise LigloError("cannot publish hints before registration")
+        self.host.send(
+            IPAddress(self.bpid.liglo_id),
+            m.PROTO_HINT_PUBLISH,
+            m.HintPublish(self.bpid, tuple(keywords)),
+        )
+
+    def fetch_hints(
+        self,
+        keyword: str,
+        callback: Callable[[m.HintReply | None], None],
+        timeout: float | None = None,
+    ) -> None:
+        """Ask our LIGLO which online members hold ``keyword``.
+
+        Single-shot on purpose (no retry-policy re-sends): the caller
+        owns the fallback — a plain flood — so on timeout the callback
+        just sees None and floods.  ``timeout`` defaults to the client
+        timeout but is typically much shorter, to keep a LIGLO outage
+        from stalling the query past its quiet period.
+        """
+        if self.bpid is None:
+            raise LigloError("cannot fetch hints before registration")
+        token = self._tokens.next()
+        self._pending_hints[token] = (callback, keyword)
+        self.host.send(
+            IPAddress(self.bpid.liglo_id),
+            m.PROTO_HINT_QUERY,
+            m.HintQuery(token, keyword),
+        )
+        self.host.sim.schedule(
+            timeout if timeout is not None else self.timeout,
+            self._expire_hint,
+            token,
+        )
+
+    def _on_hint_reply(self, packet: Packet) -> None:
+        reply: m.HintReply = packet.payload
+        record = self._pending_hints.pop(reply.token, None)
+        if record is not None:
+            record[0](reply)
+
+    def _expire_hint(self, token: int) -> None:
+        record = self._pending_hints.pop(token, None)
+        if record is not None:
+            record[0](None)
 
     # -- validity probes ---------------------------------------------------------------
 

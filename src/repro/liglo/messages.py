@@ -15,6 +15,9 @@ PROTO_RESOLVE = "liglo.resolve"
 PROTO_RESOLVE_REPLY = "liglo.resolve.reply"
 PROTO_PING = "liglo.ping"
 PROTO_PONG = "liglo.pong"
+PROTO_HINT_PUBLISH = "liglo.hints.publish"
+PROTO_HINT_QUERY = "liglo.hints.query"
+PROTO_HINT_REPLY = "liglo.hints.reply"
 
 
 @dataclass(frozen=True, slots=True)
@@ -81,6 +84,35 @@ class Pong:
     bpid: BPID
 
 
+@dataclass(frozen=True, slots=True)
+class HintPublish:
+    """A member's per-keyword digest of what it shares.
+
+    Feeds the server's keyword hint directory (super-peer routing); the
+    member sends only keywords it has not published before.
+    """
+
+    bpid: BPID
+    keywords: tuple[str, ...]
+
+
+@dataclass(frozen=True, slots=True)
+class HintQuery:
+    """Ask our LIGLO which members hold ``keyword`` (super-peer routing)."""
+
+    token: int
+    keyword: str
+
+
+@dataclass(frozen=True, slots=True)
+class HintReply:
+    """Online members known to hold the keyword, with current addresses."""
+
+    token: int
+    keyword: str
+    holders: tuple[tuple[BPID, IPAddress], ...] = ()
+
+
 # -- compact wire registrations (type id block 0x01xx) -------------------------
 
 _SAMPLE_BPID = BPID("10.0.0.1", 7)
@@ -145,4 +177,30 @@ wire.register(
     0x0107,
     (("token", wire.I64), ("bpid", wire.BPID_CODEC)),
     sample=lambda: Pong(token=44, bpid=_SAMPLE_BPID),
+)
+wire.register(
+    HintPublish,
+    0x0108,
+    (("bpid", wire.BPID_CODEC), ("keywords", wire.seq(wire.STR))),
+    sample=lambda: HintPublish(bpid=_SAMPLE_BPID, keywords=("alpha", "beta")),
+)
+wire.register(
+    HintQuery,
+    0x0109,
+    (("token", wire.I64), ("keyword", wire.STR)),
+    sample=lambda: HintQuery(token=45, keyword="alpha"),
+)
+wire.register(
+    HintReply,
+    0x010A,
+    (
+        ("token", wire.I64),
+        ("keyword", wire.STR),
+        ("holders", wire.seq(wire.pair(wire.BPID_CODEC, wire.IPADDR_CODEC))),
+    ),
+    sample=lambda: HintReply(
+        token=45,
+        keyword="alpha",
+        holders=((BPID("10.0.0.1", 3), IPAddress("10.0.1.9")),),
+    ),
 )

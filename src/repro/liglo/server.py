@@ -13,7 +13,11 @@ of every BPID they issue).  Functions, per Section 3.4:
 * periodically check the validity of registered IPs ("In BestPeer,
   LIGLO will periodically check the validity of its registered
   participants' IP addresses") by pinging members and marking the
-  silent ones offline.
+  silent ones offline;
+* (beyond the paper) serve as the super-peer tier's keyword hint
+  directory: members publish per-keyword digests of what they share,
+  and the super-peer routing strategy asks "who holds this keyword?"
+  before flooding — see ``docs/ROUTING.md``.
 """
 
 from __future__ import annotations
@@ -30,6 +34,9 @@ from repro.util.tracing import NULL_TRACER, Tracer
 
 #: How many (BPID, IP) pairs a registration reply carries by default.
 DEFAULT_INITIAL_PEERS = 5
+
+#: How many holders a hint reply carries at most.
+DEFAULT_MAX_HINTS = 64
 
 
 @dataclass
@@ -53,6 +60,7 @@ class LigloServer:
         initial_peers: int = DEFAULT_INITIAL_PEERS,
         check_interval: float | None = None,
         check_timeout: float = 2.0,
+        max_hints: int = DEFAULT_MAX_HINTS,
         tracer: Tracer | None = None,
     ):
         if host.address is None:
@@ -65,8 +73,13 @@ class LigloServer:
         self.initial_peers = initial_peers
         self.check_interval = check_interval
         self.check_timeout = check_timeout
+        self.max_hints = max_hints
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.members: dict[int, MemberEntry] = {}
+        #: keyword -> node ids of members that published it (hint directory)
+        self.hint_index: dict[str, set[int]] = {}
+        self.hint_publishes = 0
+        self.hint_queries = 0
         self._node_serials = SerialCounter()
         self._ping_serials = SerialCounter()
         self._pending_pings: dict[int, int] = {}  # ping token -> node_id
@@ -76,6 +89,8 @@ class LigloServer:
         host.bind(m.PROTO_ANNOUNCE, self._on_announce)
         host.bind(m.PROTO_RESOLVE, self._on_resolve)
         host.bind(m.PROTO_PONG, self._on_pong)
+        host.bind(m.PROTO_HINT_PUBLISH, self._on_hint_publish)
+        host.bind(m.PROTO_HINT_QUERY, self._on_hint_query)
         if check_interval is not None:
             # Daemon timer: periodic housekeeping must not keep an
             # unbounded simulation run alive forever.
@@ -168,6 +183,41 @@ class LigloServer:
             entry.online = True
             entry.last_seen = self.host.sim.now
 
+    # -- keyword hint directory (super-peer routing) -----------------------------
+
+    def _on_hint_publish(self, packet: Packet) -> None:
+        publish: m.HintPublish = packet.payload
+        entry = self._member_for(publish.bpid)
+        if entry is None:
+            return  # not ours, or forgotten; the node must re-register
+        self.hint_publishes += 1
+        for keyword in publish.keywords:
+            self.hint_index.setdefault(keyword, set()).add(publish.bpid.node_id)
+        # A publish is also a liveness signal, like an announce.
+        entry.address = packet.src
+        entry.online = True
+        entry.last_seen = self.host.sim.now
+        self.tracer.record(
+            self.host.sim.now,
+            "liglo",
+            "hint-publish",
+            bpid=str(publish.bpid),
+            keywords=len(publish.keywords),
+        )
+
+    def _on_hint_query(self, packet: Packet) -> None:
+        request: m.HintQuery = packet.payload
+        self.hint_queries += 1
+        holders: list[tuple[BPID, IPAddress]] = []
+        for node_id in sorted(self.hint_index.get(request.keyword, ())):
+            entry = self.members.get(node_id)
+            if entry is not None and entry.online:
+                holders.append((entry.bpid, entry.address))
+            if len(holders) >= self.max_hints:
+                break
+        reply = m.HintReply(request.token, request.keyword, tuple(holders))
+        self.host.send(packet.src, m.PROTO_HINT_REPLY, reply)
+
     # -- validity checking ------------------------------------------------------
 
     def _run_validity_check(self) -> None:
@@ -209,6 +259,9 @@ class LigloServer:
             "pending_pings": len(self._pending_pings),
             "ping_timeouts": self.ping_timeouts,
             "registrations_rejected": self.registrations_rejected,
+            "hint_keywords": len(self.hint_index),
+            "hint_publishes": self.hint_publishes,
+            "hint_queries": self.hint_queries,
         }
 
     def lookup(self, bpid: BPID) -> MemberEntry | None:

@@ -341,3 +341,100 @@ def test_encoder_cache_actually_hits_during_flood():
     network = deployment.network
     assert network.encode_misses > 0
     assert network.encode_hits > 0  # fan-out re-used at least one encoding
+
+
+# ---------------------------------------------------------------------------
+# Routing framework: REPRO_ROUTING=legacy must be invisible
+# ---------------------------------------------------------------------------
+
+
+def test_series_identical_under_legacy_routing(monkeypatch, fastpath_results):
+    # "legacy" floods to every non-suspect peer in table order — the
+    # pre-framework forwarding path.  For the paper strategies the
+    # strategy-driven fan-out must be bit-identical to it.
+    from repro.core.routing.base import ROUTING_ENV_VAR
+
+    monkeypatch.setenv(ROUTING_ENV_VAR, "legacy")
+    assert _run_figures() == fastpath_results
+
+
+def test_series_identical_under_legacy_routing_parallel(
+    monkeypatch, fastpath_results
+):
+    # Checked per call, so --jobs workers inherit the switch via env.
+    from repro.core.routing.base import ROUTING_ENV_VAR
+
+    monkeypatch.setenv(ROUTING_ENV_VAR, "legacy")
+    parallel = ParallelExperimentRunner(jobs=2)
+    fig5 = figure_5a(TINY, sizes=(1, 2, 4), runner=parallel)
+    fig8 = figure_8a(TINY, node_count=8, max_peers=4, holder_count=2, runner=parallel)
+    assert (fig5.series, fig8.series) == fastpath_results
+
+
+def test_wire_bytes_and_hops_identical_legacy_vs_strategy_routing(monkeypatch):
+    from repro.core.routing.base import ROUTING_ENV_VAR
+
+    monkeypatch.delenv(ROUTING_ENV_VAR, raising=False)
+    strategy_path = _drive_deployment()
+    monkeypatch.setenv(ROUTING_ENV_VAR, "legacy")
+    assert _drive_deployment() == strategy_path
+
+
+def test_faulted_series_identical_under_legacy_routing(monkeypatch):
+    # The churn figure (maxcount vs static) under a nonzero fault plan:
+    # same series, bytes, hops and drop counters either way the
+    # forwarding switch is thrown, serial and parallel.
+    from repro.core.routing.base import ROUTING_ENV_VAR
+
+    monkeypatch.delenv(ROUTING_ENV_VAR, raising=False)
+    default = _faulted_observables(None)
+    monkeypatch.setenv(ROUTING_ENV_VAR, "legacy")
+    assert _faulted_observables(None) == default
+    assert _faulted_observables(ParallelExperimentRunner(jobs=2)) == default
+
+
+def _routing_observables(runner) -> tuple:
+    """The routing comparison figure under the churn fault plan; every
+    per-trial observable, for the new strategies only (the paper
+    strategies are covered by the legacy-bypass tests above)."""
+    from repro.eval.routing import figure_routing
+
+    params = FigureParams(objects_per_node=0, queries=2, seed=0)
+    result = figure_routing(
+        params,
+        node_count=8,
+        churn_rates=(0.0, 0.3),
+        strategies=("history", "superpeer", "costaware"),
+        runner=runner,
+    )
+    trials = figure_routing.last_trials
+    return (
+        result.series,
+        [
+            (
+                t["strategy"],
+                tuple(t["recalls"]),
+                t["messages_per_query"],
+                t["bytes_per_query"],
+                t["setup_packets"],
+                t["setup_bytes"],
+                t["bytes_carried"],
+                t["packets_delivered"],
+                tuple(sorted(t["drops_by_reason"].items())),
+                tuple(sorted(t["faults_applied"].items())),
+                t["hint_queries"],
+                t["hint_hits"],
+                t["hint_fallbacks"],
+            )
+            for t in trials
+        ],
+    )
+
+
+def test_new_strategies_self_identical_serial_vs_parallel():
+    # history / superpeer / costaware under churn: the seeded timeline
+    # (including hint publishes, hint queries and fallback floods) must
+    # replay bit-identically whichever runner executes the sweep.
+    default = _routing_observables(None)
+    assert _routing_observables(ExperimentRunner()) == default
+    assert _routing_observables(ParallelExperimentRunner(jobs=2)) == default

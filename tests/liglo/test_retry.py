@@ -47,7 +47,7 @@ class TestRegisterRetry:
         assert result.accepted
         assert client.retries >= 1
         assert rig.tracer.counter("liglo", "register-retry") == client.retries
-        assert client.pending_counts() == {"registers": 0, "resolves": 0}
+        assert client.pending_counts() == {"registers": 0, "resolves": 0, "hints": 0}
 
     def test_exhaustion_reports_timeout(self):
         rig = Rig()
@@ -61,7 +61,7 @@ class TestRegisterRetry:
         assert result.reason == "registration timed out"
         # max_attempts=3 means exactly two re-sends before giving up.
         assert client.retries == 2
-        assert client.pending_counts() == {"registers": 0, "resolves": 0}
+        assert client.pending_counts() == {"registers": 0, "resolves": 0, "hints": 0}
 
     def test_no_policy_is_single_shot(self):
         rig = Rig(policy=None)
@@ -104,7 +104,7 @@ class TestResolveRetry:
         assert reply is not None
         assert reply.address == b.host.address
         assert rig.tracer.counter("liglo", "resolve-retry") >= 1
-        assert a.pending_counts() == {"registers": 0, "resolves": 0}
+        assert a.pending_counts() == {"registers": 0, "resolves": 0, "hints": 0}
 
     def test_exhaustion_yields_none(self):
         rig = Rig()
@@ -118,7 +118,7 @@ class TestResolveRetry:
         a.resolve(b.bpid, replies.append)
         rig.sim.run()
         assert replies == [None]
-        assert a.pending_counts() == {"registers": 0, "resolves": 0}
+        assert a.pending_counts() == {"registers": 0, "resolves": 0, "hints": 0}
 
 
 class TestAnnounceVerified:
