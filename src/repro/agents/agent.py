@@ -30,6 +30,14 @@ class Agent:
     state capture works.
     """
 
+    #: When True, a flood-mode engine forwards this agent's clones
+    #: *after* local execution, re-captured from the executed instance's
+    #: state — so state mutated during :meth:`execute` (e.g. a top-k
+    #: accumulator's tightened threshold) piggybacks onto every next
+    #: hop.  The default (False) keeps the paper's order: clones leave
+    #: before local execution, so flooding never waits on local work.
+    forward_merges_state = False
+
     def execute(self, context: "AgentContext") -> None:
         """Run at the destination host.  Override in subclasses.
 

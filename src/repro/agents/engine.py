@@ -399,9 +399,16 @@ class AgentEngine:
     def _run(
         self, envelope: AgentEnvelope, arrived_from: IPAddress, install_charged: bool
     ) -> None:
-        # Forward clones before local execution: flooding must not wait
-        # for this host's CPU-heavy search.
-        if envelope.mode == MODE_FLOOD and not envelope.expired:
+        agent_class = self.registry.get(envelope.class_name)
+        forwards = envelope.mode == MODE_FLOOD and not envelope.expired
+        # Agent classes that merge in-transit state (top-k accumulators)
+        # forward *after* execution, from the refreshed state; everyone
+        # else keeps the paper's order — clones leave before local
+        # execution, so flooding never waits for the CPU-heavy search.
+        merge_forward = forwards and getattr(
+            agent_class, "forward_merges_state", False
+        )
+        if forwards and not merge_forward:
             with self.profiler.timed("clone"):
                 next_hop = envelope.hop(None)
                 self._ship_many(
@@ -413,11 +420,25 @@ class AgentEngine:
                         and peer != envelope.initiator_address
                     ],
                 )
-        agent_class = self.registry.get(envelope.class_name)
         context = AgentContext(self, envelope)
         with self.profiler.timed("execute"):
             agent = agent_class.from_state(envelope.state)
             agent.execute(context)
+        if merge_forward:
+            # Execution is real Python (no simulated time passes), so
+            # the merged-state clones still leave at the arrival instant
+            # — the flood's timing is unchanged, only its state is.
+            with self.profiler.timed("clone"):
+                next_hop = envelope.with_state(agent.get_state()).hop(None)
+                self._ship_many(
+                    next_hop,
+                    [
+                        peer
+                        for peer in self.get_peers()
+                        if peer != arrived_from
+                        and peer != envelope.initiator_address
+                    ],
+                )
         self.agents_executed += 1
         service_time = (
             self.costs.execute_overhead

@@ -295,6 +295,28 @@ class GnutellaServent:
             self.host.send(upstream, PROTO_PONG, pong)
 
 
+def scored_reference(stores, keyword: str, k: int | None = None):
+    """Exhaustive scored oracle: the true global top-k over ``stores``.
+
+    ``stores`` is an iterable of ``(label, StorM)`` pairs.  Every store
+    is walked with :meth:`~repro.storm.store.StorM.scored_search_scan`
+    — no index, no wire, no early termination — and the hits are ranked
+    globally by ``(-score, label, page, slot)``.  Returns ``(score,
+    label, rid)`` triples, truncated to ``k`` when given.
+
+    This is the comparator any in-network top-k scheme is judged
+    against: whatever it prunes, the score mass of its answer set must
+    match what this flat scan over every store retrieves.
+    """
+    ranked = [
+        (score, label, rid)
+        for label, store in stores
+        for score, rid, _obj in store.scored_search_scan(keyword).matches
+    ]
+    ranked.sort(key=lambda hit: (-hit[0], hit[1], hit[2].page_id, hit[2].slot))
+    return ranked if k is None else ranked[:k]
+
+
 class GnutellaDeployment:
     """A built Gnutella overlay."""
 
@@ -315,6 +337,14 @@ class GnutellaDeployment:
             if skip_base and index == 0:
                 continue
             fill(servent, index)
+
+    def scored_reference(self, keyword: str, k: int | None = None):
+        """Global top-k over every servent's store (exhaustive oracle)."""
+        return scored_reference(
+            [(servent.name, servent.storm) for servent in self.servents],
+            keyword,
+            k,
+        )
 
 
 def build_gnutella_network(

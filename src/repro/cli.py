@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Sequence
 
-from repro.eval import ablations, churn, figures, routing
+from repro.eval import ablations, churn, figures, routing, topk
 from repro.eval.experiment import (
     ExperimentRunner,
     FigureResult,
@@ -39,6 +39,7 @@ FIGURES: dict[str, Callable[[FigureParams], FigureResult]] = {
     "8b": figures.figure_8b,
     "churn": churn.figure_churn,
     "routing": routing.figure_routing,
+    "topk": topk.figure_topk,
 }
 
 ABLATIONS: dict[str, Callable[[FigureParams], FigureResult]] = {
@@ -144,6 +145,12 @@ def _run_figure(args: argparse.Namespace) -> int:
         print()
         print("per-strategy recall/traffic detail:")
         print(format_routing_trials(routing.figure_routing.last_trials))
+    elif args.name == "topk":
+        from repro.eval.report import format_topk_trials
+
+        print()
+        print("per-(k, ttl, rate) traffic/quality detail:")
+        print(format_topk_trials(topk.figure_topk.last_trials))
     return 0
 
 

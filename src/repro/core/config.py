@@ -60,6 +60,11 @@ class BestPeerConfig:
     #: how long a super-peer hint fetch waits before falling back to a
     #: plain flood (kept well under any query quiet period)
     hint_timeout: float = 1.0
+    #: in-network top-k: queries return only the k best-scored answers,
+    #: with dominated answers terminated at the hop that finds them
+    #: (see repro.agents.topk).  None keeps the paper's exhaustive
+    #: floods bit-identical; REPRO_TOPK=off bypasses per call.
+    top_k: int | None = None
 
     def __post_init__(self) -> None:
         if self.suspect_after < 1:
@@ -84,3 +89,7 @@ class BestPeerConfig:
             )
         if self.hint_timeout <= 0:
             raise BestPeerError(f"hint_timeout must be > 0, got {self.hint_timeout}")
+        if self.top_k is not None and not 1 <= self.top_k <= 0xFFFF:
+            raise BestPeerError(
+                f"top_k must be in [1, 65535] or None, got {self.top_k}"
+            )

@@ -27,6 +27,7 @@ from repro.agents.engine import PROTO_ANSWER, AgentEngine
 from repro.agents.envelope import MODE_FLOOD
 from repro.agents.messages import MODE_METADATA, AnswerMessage, BatchedAnswers
 from repro.agents.storm_agent import StorMSearchAgent
+from repro.agents.topk import TopKDigest, TopKSearchAgent, topk_bypassed
 from repro.core import sharing
 from repro.core.config import BestPeerConfig
 from repro.core.discovery import (
@@ -407,24 +408,53 @@ class BestPeerNode:
         if self.engine is None:
             raise BestPeerError(f"node {self.name} must join before querying")
         query_id = QueryId(self.bpid, self._query_serials.next())
+        # In-network top-k is gated per call (REPRO_TOPK=off bypasses),
+        # so k=None / bypassed runs stay bit-identical to legacy floods.
+        top_k = self.config.top_k if not topk_bypassed() else None
         handle = QueryHandle(
             query_id=query_id,
             keyword=keyword,
             issued_at=self.sim.now,
+            top_k=top_k,
             on_answer=on_answer,
             on_finish=on_finish,
         )
         self._queries[query_id] = handle
-        if self.config.search_own_store:
-            if self.config.use_index:
-                handle.local_result = self.storm.search(keyword)
-            else:
-                handle.local_result = self.storm.search_scan(keyword)
-        agent = StorMSearchAgent(
-            keyword,
-            mode="metadata" if self.config.result_mode == MODE_METADATA else "direct",
-            use_index=self.config.use_index,
-        )
+        mode = "metadata" if self.config.result_mode == MODE_METADATA else "direct"
+        if top_k is not None:
+            if self.config.search_own_store:
+                if self.config.use_index:
+                    handle.local_scored = self.storm.scored_search(keyword, top_k)
+                else:
+                    handle.local_scored = self.storm.scored_search_scan(
+                        keyword, top_k
+                    )
+            # Seed the travelling accumulator with the initiator's own
+            # top-k, so the threshold starts tightening at hop one.
+            seed = [
+                (score, self.bpid.liglo_id, self.bpid.node_id, rid.page_id, rid.slot)
+                for score, rid, _obj in (
+                    handle.local_scored.matches if handle.local_scored else ()
+                )
+            ]
+            agent: Agent = TopKSearchAgent(
+                keyword,
+                top_k,
+                mode=mode,
+                use_index=self.config.use_index,
+                entries=seed,
+            )
+        else:
+            if self.config.search_own_store:
+                if self.config.use_index:
+                    handle.local_result = self.storm.search(keyword)
+                else:
+                    handle.local_result = self.storm.search_scan(keyword)
+            agent = StorMSearchAgent(
+                keyword,
+                mode=mode,
+                use_index=self.config.use_index,
+            )
         for _ in self.peers.suspect_bpids():
             # The flood skips suspected-dead peers: the query still runs,
             # but the caller can see its answer set may be partial.
@@ -534,6 +564,18 @@ class BestPeerNode:
 
     def _on_answer(self, packet: Packet) -> None:
         payload = packet.payload
+        if isinstance(payload, TopKDigest):
+            # A hop whose every match was dominated in-network: record
+            # liveness and the dominated count, but no answer items.
+            self.peers.note_alive(payload.responder, self.sim.now)
+            handle = self._queries.get(payload.query_id)
+            if handle is None or handle.finished:
+                self.tracer.record(
+                    self.sim.now, "node", "late-answer", node=self.name
+                )
+                return
+            handle.record_digest(payload, self.sim.now)
+            return
         # A batch is an encoding-layer coalescing only: each answer is
         # recorded individually, exactly as if it had arrived alone.
         answers = (
@@ -1044,6 +1086,9 @@ class BestPeerNode:
             "suspect_peers": len(self.peers.suspect_bpids()),
             "queries_degraded": sum(
                 1 for handle in self._queries.values() if handle.degraded
+            ),
+            "dominated_dropped": sum(
+                handle.dominated_dropped for handle in self._queries.values()
             ),
             "request_timeouts": sum(self.request_timeouts.values()),
             "request_retries": self.request_retries,

@@ -19,9 +19,12 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.agents.messages import AnswerMessage
+from repro.agents.topk import TopKDigest
 from repro.errors import QueryError
 from repro.ids import BPID, QueryId
-from repro.storm.store import SearchResult
+from repro.storm.heapfile import RecordId
+from repro.storm.objects import normalize_keyword
+from repro.storm.store import ScoredSearchResult, SearchResult
 
 
 @dataclass
@@ -37,6 +40,17 @@ class QueryHandle:
     arrival_times: list[float] = field(default_factory=list)
     #: result of searching the initiator's own store (if configured)
     local_result: SearchResult | None = None
+    #: in-network top-k bound this query ran with (None = exhaustive)
+    top_k: int | None = None
+    #: scored local-store result (top-k queries; replaces local_result)
+    local_scored: ScoredSearchResult | None = None
+    #: digests from hops whose every match was dominated in-network
+    digests: list[TopKDigest] = field(default_factory=list)
+    #: arrival time of each digest (parallel to ``digests``)
+    digest_times: list[float] = field(default_factory=list)
+    #: matches terminated in-network because the current k-th score
+    #: dominated them (reported by answers and digests alike)
+    dominated_dropped: int = 0
     finished: bool = False
     finished_at: float | None = None
     #: True when some responses were knowingly lost (the answer set is
@@ -57,8 +71,25 @@ class QueryHandle:
             raise QueryError(f"{self.query_id} is finished; late answer dropped")
         self.answers.append(answer)
         self.arrival_times.append(now)
+        # ScoredAnswers report how many of their hop's matches the
+        # in-transit top-k killed; plain answers have no such counter.
+        self.dominated_dropped += getattr(answer, "dominated_dropped", 0)
         if self.on_answer is not None:
             self.on_answer(self, answer)
+
+    def record_digest(self, digest: TopKDigest, now: float) -> None:
+        """Record a hop whose matches were all dominated in-network.
+
+        Digests are liveness plus accounting, not answers: they carry
+        no items, so they join neither ``answers`` nor the strategy's
+        observations — but they do reset the quiet period (the hop is
+        demonstrably alive and still working the query).
+        """
+        if self.finished:
+            raise QueryError(f"{self.query_id} is finished; late digest dropped")
+        self.digests.append(digest)
+        self.digest_times.append(now)
+        self.dominated_dropped += digest.dominated_dropped
 
     def mark_degraded(self, cause: str) -> None:
         """Record that part of this query's answer set was lost.
@@ -93,7 +124,10 @@ class QueryHandle:
     @property
     def total_answer_count(self) -> int:
         """Network answers plus local-store matches."""
-        local = self.local_result.match_count if self.local_result else 0
+        if self.local_scored is not None:
+            local = self.local_scored.match_count
+        else:
+            local = self.local_result.match_count if self.local_result else 0
         return self.network_answer_count + local
 
     @property
@@ -117,8 +151,12 @@ class QueryHandle:
 
     @property
     def last_arrival(self) -> float | None:
-        """Arrival time of the most recent answer (None before any)."""
-        return self.arrival_times[-1] if self.arrival_times else None
+        """Arrival time of the most recent answer or digest (None
+        before any) — digests count as activity for quiet periods."""
+        latest = self.arrival_times[-1] if self.arrival_times else None
+        if self.digest_times and (latest is None or self.digest_times[-1] > latest):
+            return self.digest_times[-1]
+        return latest
 
     @property
     def completion_time(self) -> float | None:
@@ -126,6 +164,54 @@ class QueryHandle:
         if self.last_arrival is None:
             return None
         return self.last_arrival - self.issued_at
+
+    def top_answers(
+        self, k: int | None = None
+    ) -> list[tuple[float, BPID, RecordId]]:
+        """The global top-k view: best (score, holder, rid) triples.
+
+        Merges the local-store result with every network answer,
+        re-scoring unscored (exhaustive) items from their keyword tags
+        — the same TF model :meth:`~repro.storm.objects.StoredObject.score`
+        uses — so exhaustive and top-k runs are directly comparable.
+        Ordered by the :class:`~repro.agents.topk.TopKEntry` sort key
+        and truncated to ``k`` (default: the query's own ``top_k``;
+        None returns every entry, ranked).
+        """
+        if k is None:
+            k = self.top_k
+        needle = normalize_keyword(self.keyword)
+        merged: dict[tuple[BPID, RecordId], float] = {}
+        origin = self.query_id.origin
+        if self.local_scored is not None:
+            for score, rid, _obj in self.local_scored.matches:
+                merged[(origin, rid)] = score
+        elif self.local_result is not None:
+            for rid, obj in self.local_result.matches:
+                merged[(origin, rid)] = obj.score(self.keyword)
+        for answer in self.answers:
+            for item in answer.items:
+                score = getattr(item, "score", None)
+                if score is None:
+                    count = item.keywords.count(needle)
+                    score = count / len(item.keywords) if count else 0.0
+                key = (answer.responder, item.rid)
+                if score > merged.get(key, -1.0):
+                    merged[key] = score
+        ranked = sorted(
+            (
+                (score, holder, rid)
+                for (holder, rid), score in merged.items()
+            ),
+            key=lambda entry: (
+                -entry[0],
+                entry[1].liglo_id,
+                entry[1].node_id,
+                entry[2].page_id,
+                entry[2].slot,
+            ),
+        )
+        return ranked if k is None else ranked[:k]
 
     def arrivals(self) -> list[tuple[float, AnswerMessage]]:
         """(arrival time, answer) pairs in arrival order."""

@@ -216,3 +216,45 @@ def format_routing_trials(trials: Sequence[dict]) -> str:
         ],
         rows,
     )
+
+
+def format_topk_trials(trials: Sequence[dict]) -> str:
+    """Render top-k trial dicts (one per (k, ttl, rate) point).
+
+    The traffic-vs-quality trade the bounded accumulator makes: bytes
+    and messages per query next to the score-mass quality at each swept
+    cutoff, plus the dominated/digest counts that show the pruning
+    actually happened in-network rather than at the initiator.
+    """
+    rows = []
+    for trial in trials:
+        quality = "  ".join(
+            f"@{cutoff}={value}" for cutoff, value in sorted(
+                trial["quality"].items(), key=lambda item: int(item[0])
+            )
+        )
+        rows.append(
+            [
+                trial["label"],
+                trial["ttl"],
+                trial["rate"],
+                trial["answers_per_query"],
+                trial["dominated_per_query"],
+                trial["bytes_per_query"],
+                trial["messages_per_query"],
+                quality,
+            ]
+        )
+    return format_table(
+        [
+            "mode",
+            "ttl",
+            "rate",
+            "answers/q",
+            "dominated/q",
+            "bytes/query",
+            "msgs/query",
+            "quality",
+        ],
+        rows,
+    )

@@ -1,0 +1,211 @@
+"""Bytes-on-wire vs answer quality for in-network top-k — the TTL x k sweep.
+
+The in-network top-k merge (``BestPeerConfig.top_k``) promises that
+dominated answers die at the hop that sees them instead of riding home
+to the initiator.  This figure prices that promise: the same workload —
+a base node querying an overlay where every other node holds several
+matching objects with a TF score gradient — runs exhaustively
+(``k=None``) and with bounded accumulators (``k=4``, ``k=16``) across a
+TTL sweep, clean and under the PR 4 churn plan.  Per point the trial
+records bytes and messages per query (counted from just before the
+first query, so store population and registration are excluded) next to
+the answer *quality*: the score mass retrieved by
+:meth:`QueryHandle.top_answers` over the score mass of the true global
+top-k, computed by the exhaustive
+:func:`~repro.baselines.gnutella.scored_reference` oracle over every
+store.  A top-k run earns its traffic cut only at quality no worse than
+the exhaustive flood's at the same cutoff.
+
+Every stochastic choice — topology, fault timeline, retry jitter —
+derives from the params seed, so every point replays bit-identically,
+serial or parallel.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.gnutella import scored_reference
+from repro.core.builder import build_network
+from repro.core.config import BestPeerConfig
+from repro.eval.churn import CHURN_HORIZON, CHURN_RETRY_POLICY, QUERY_QUIET_PERIOD, _fault_plan
+from repro.eval.experiment import ExperimentRunner, FigureResult
+from repro.eval.figures import FigureParams, _run_tasks
+from repro.faults import SimFaultInjector
+from repro.topology.builders import random_graph
+from repro.workloads.corpus import KeywordCorpus
+
+#: Accumulator bounds swept against the exhaustive baseline (None).
+DEFAULT_TOPK_KS = (4, 16, None)
+
+#: TTL sweep — shallow floods answer from fewer hops; the traffic cut
+#: must hold at every reach.
+DEFAULT_TOPK_TTLS = (2, 4, 8)
+
+#: Churn rates (clean + the stress point, as the routing figure).
+DEFAULT_TOPK_RATES = (0.0, 0.3)
+
+#: Matching objects per non-base node and their payload size.  Pinned
+#: (like the routing figure's fill) rather than taken from params: the
+#: claim under test lives in the regime where answer payloads dominate
+#: query traffic and the network holds many more matches than k — so
+#: per-node truncation and threshold dominance both bite.  2 KiB stays
+#: under the StorM page-record cap.
+MATCHES_PER_NODE = 32
+OBJECT_BYTES = 2048
+
+
+def _label(k: int | None) -> str:
+    return "exhaustive" if k is None else f"k={k}"
+
+
+def _mass(scores, k: int) -> float:
+    return sum(sorted(scores, reverse=True)[:k])
+
+
+def topk_trial(task: tuple) -> dict:
+    """One (k, ttl, churn rate) point; module-level so it pickles to the
+    parallel runner's workers."""
+    k, ttl, rate, node_count, eval_ks, params = task
+    config = BestPeerConfig(
+        max_direct_peers=8,
+        ttl=ttl,
+        top_k=k,
+        retry_policy=CHURN_RETRY_POLICY,
+        suspect_after=2,
+        retry_seed=params.seed,
+        agent_costs=params.costs,
+    )
+    topology = random_graph(node_count, degree=3, seed=params.seed)
+    deployment = build_network(node_count, config=config, topology=topology)
+    keyword = KeywordCorpus(params.corpus_size).keyword(0)
+    # Several matches per non-base node with node-and-object-varying TF
+    # scores: the accumulator has real dominance decisions to make.
+    for index, node in enumerate(deployment.nodes[1:], 1):
+        node.share_many(
+            [
+                (
+                    [keyword] + ["filler"] * (1 + ((index * 7 + j * 3) % 6)),
+                    (index * MATCHES_PER_NODE + j).to_bytes(4, "big")
+                    * (OBJECT_BYTES // 4),
+                )
+                for j in range(MATCHES_PER_NODE)
+            ]
+        )
+    # The oracle sees every store before any churn fires: the ideal
+    # answer set a lossless exhaustive flood would retrieve.
+    reference = scored_reference(
+        [(node.name, node.storm) for node in deployment.nodes], keyword
+    )
+    reference_scores = [score for score, _label_, _rid in reference]
+    churnable = [node.name for node in deployment.nodes[1:]]  # base never churns
+    injector = SimFaultInjector(
+        deployment, _fault_plan(churnable, rate, params.seed), tracer=deployment.tracer
+    )
+    injector.arm()
+    base = deployment.base
+    handles: list = []
+    setup = {"packets": 0, "bytes": 0}
+
+    def mark_setup_done() -> None:
+        setup["packets"] = deployment.network.packets_delivered
+        setup["bytes"] = deployment.network.bytes_carried
+
+    def issue() -> None:
+        handles.append(
+            base.issue_query(keyword, auto_finish_after=QUERY_QUIET_PERIOD)
+        )
+
+    step = CHURN_HORIZON / params.queries
+    deployment.sim.schedule(1.9, mark_setup_done)
+    for q in range(params.queries):
+        deployment.sim.schedule(2.0 + q * step, issue)
+    deployment.sim.run()
+    queries = max(len(handles), 1)
+    query_packets = deployment.network.packets_delivered - setup["packets"]
+    query_bytes = deployment.network.bytes_carried - setup["bytes"]
+    # Quality at cutoff c: retrieved score mass over the oracle's top-c
+    # mass, averaged over queries.  top_answers() re-scores exhaustive
+    # items from their tags, so both modes are judged identically.
+    quality = {}
+    for cutoff in eval_ks:
+        ideal = _mass(reference_scores, cutoff)
+        if not ideal:
+            quality[str(cutoff)] = 1.0
+            continue
+        ratios = [
+            min(1.0, sum(s for s, _h, _r in handle.top_answers(cutoff)) / ideal)
+            for handle in handles
+        ]
+        quality[str(cutoff)] = round(sum(ratios) / queries, 6)
+    answers = sum(handle.network_answer_count for handle in handles)
+    dominated = sum(handle.dominated_dropped for handle in handles)
+    digests = sum(len(handle.digests) for handle in handles)
+    return {
+        "k": k,
+        "label": _label(k),
+        "ttl": ttl,
+        "rate": rate,
+        "answers_per_query": round(answers / queries, 3),
+        "dominated_per_query": round(dominated / queries, 3),
+        "digests_per_query": round(digests / queries, 3),
+        "messages_per_query": round(query_packets / queries, 3),
+        "bytes_per_query": round(query_bytes / queries, 1),
+        "quality": quality,
+        "reference_size": len(reference),
+        "setup_packets": setup["packets"],
+        "setup_bytes": setup["bytes"],
+        "packets_delivered": deployment.network.packets_delivered,
+        "bytes_carried": deployment.network.bytes_carried,
+        "packets_dropped": deployment.network.packets_dropped,
+        "drops_by_reason": dict(sorted(deployment.network.drops_by_reason.items())),
+        "degraded_queries": sum(1 for handle in handles if handle.degraded),
+        "faults_applied": dict(sorted(injector.applied.items())),
+    }
+
+
+def figure_topk(
+    params: FigureParams,
+    node_count: int = 16,
+    ks: tuple = DEFAULT_TOPK_KS,
+    ttls: tuple = DEFAULT_TOPK_TTLS,
+    churn_rates: tuple = DEFAULT_TOPK_RATES,
+    runner: ExperimentRunner | None = None,
+) -> FigureResult:
+    """Bytes per query vs TTL, one series per (k, churn rate).
+
+    The plotted series carry bytes per query; the full observables —
+    answer quality at every swept cutoff, dominated/digest counts,
+    message totals, fault counts — are attached as
+    ``figure_topk.last_trials`` after each call, exactly like the
+    routing figure does.
+    """
+    if node_count < 3:
+        raise ValueError(f"top-k experiment needs >= 3 nodes, got {node_count}")
+    eval_ks = tuple(sorted({k for k in ks if k is not None})) or (4, 16)
+    tasks = [
+        (k, ttl, rate, node_count, eval_ks, params)
+        for k in ks
+        for ttl in ttls
+        for rate in churn_rates
+    ]
+    trials = _run_tasks(runner, topk_trial, tasks)
+    result = FigureResult(
+        figure="topk",
+        title=(
+            f"In-network top-k: bytes vs TTL ({node_count} nodes, "
+            f"{MATCHES_PER_NODE} matches/node, {params.queries} queries)"
+        ),
+        x_label="TTL",
+        y_label="bytes per query",
+        notes=(
+            "answer quality (score-mass ratio vs the exhaustive oracle) "
+            "per cutoff in trial details; seeded fault plan as the churn "
+            "figure; dominated answers die in-network as digests"
+        ),
+    )
+    for trial in trials:
+        series = trial["label"] + (
+            "" if trial["rate"] == 0 else f" churn={trial['rate']}"
+        )
+        result.add_point(series, trial["ttl"], trial["bytes_per_query"])
+    figure_topk.last_trials = trials  # type: ignore[attr-defined]
+    return result

@@ -231,6 +231,12 @@ class LivePeer:
         return query
 
     def _on_answer(self, _src: LiveAddress, payload: Any) -> None:
+        from repro.agents.topk import TopKDigest
+
+        if isinstance(payload, TopKDigest):
+            # Top-k digests carry no answer items; the live runtime has
+            # no quiet-period accounting to feed, so they are dropped.
+            return
         answers = (
             payload.answers if isinstance(payload, BatchedAnswers) else (payload,)
         )

@@ -327,6 +327,7 @@ def load_registrations() -> None:
     """
     import repro.agents.envelope  # noqa: F401
     import repro.agents.messages  # noqa: F401
+    import repro.agents.topk  # noqa: F401
     import repro.core.sharing  # noqa: F401
     import repro.core.shipping  # noqa: F401
 

@@ -73,6 +73,20 @@ class KeywordIndex:
         """Record ids tagged with ``keyword`` (empty set when absent)."""
         return frozenset(self._postings.get(normalize_keyword(keyword), ()))
 
+    def lookup_ordered(self, keyword: str) -> list[RecordId]:
+        """Postings in heap order: page id, then slot.
+
+        This is the order a full heap scan visits the same records, so
+        index-backed searches (:meth:`~repro.storm.store.StorM.search`,
+        ``scored_search``) and scan-backed searches agree on result
+        order by construction — the tie-break order scored top-k
+        merging relies on.
+        """
+        return sorted(
+            self._postings.get(normalize_keyword(keyword), ()),
+            key=lambda rid: (rid.page_id, rid.slot),
+        )
+
     def rebuild(self, entries: Iterable[tuple[RecordId, Iterable[str]]]) -> None:
         """Discard and reconstruct all postings from ``(rid, keywords)`` pairs."""
         self._postings.clear()

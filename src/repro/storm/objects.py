@@ -43,6 +43,22 @@ class StoredObject:
         """True when ``keyword`` (normalized) is one of this object's tags."""
         return normalize_keyword(keyword) in self.keywords
 
+    def score(self, keyword: str) -> float:
+        """TF-style relevance of ``keyword`` for this object.
+
+        Term frequency over the tag list: how many of the object's tags
+        are the (normalized) keyword, divided by the total tag count.
+        An object tagged exactly and only with the keyword scores 1.0; a
+        keyword buried among many other tags scores low; a non-match
+        scores 0.0.  The ratio is a quotient of two small integers, so
+        scores are bit-identical across platforms and survive an F64
+        wire round-trip exactly.
+        """
+        count = self.keywords.count(normalize_keyword(keyword))
+        if not count:
+            return 0.0
+        return count / len(self.keywords)
+
     @property
     def size(self) -> int:
         """Payload size in bytes."""

@@ -89,6 +89,13 @@ class PersistentKeywordIndex:
             self._decode(entry)[1] for entry in self.tree.scan_prefix(prefix)
         )
 
+    def lookup_ordered(self, keyword: str) -> list[RecordId]:
+        """Postings in heap order (page id, then slot), like the
+        in-memory index — index-backed and scan-backed searches agree."""
+        return sorted(
+            self.lookup(keyword), key=lambda rid: (rid.page_id, rid.slot)
+        )
+
     def posting_count(self, keyword: str) -> int:
         return sum(1 for _ in self.tree.scan_prefix(self._prefix(keyword)))
 

@@ -44,6 +44,63 @@ def bulk_load_disabled() -> bool:
 
 
 @dataclass
+class ScoredSearchResult:
+    """Outcome of one *scored* keyword search at one node.
+
+    Matches are ``(score, rid, object)`` triples ordered best-first:
+    score descending, ties broken by heap order (page id, then slot) so
+    any two stores holding the same records rank them identically —
+    the deterministic order the in-network top-k merge depends on.
+    """
+
+    keyword: str
+    matches: list[tuple[float, RecordId, StoredObject]] = field(default_factory=list)
+    #: how many stored objects were compared against the query
+    objects_examined: int = 0
+    #: buffer activity caused by this search
+    io: AccessStats = field(default_factory=AccessStats)
+    #: matches cut by the ``k`` bound (scored, then never surfaced)
+    truncated: int = 0
+
+    @property
+    def match_count(self) -> int:
+        return len(self.matches)
+
+    @property
+    def answer_bytes(self) -> int:
+        """Total payload bytes across surfaced matches."""
+        return sum(obj.size for _, _, obj in self.matches)
+
+    @property
+    def scores(self) -> list[float]:
+        """The surfaced scores, best first."""
+        return [score for score, _, _ in self.matches]
+
+
+def _settle_scored(
+    result: ScoredSearchResult,
+    scored: list[tuple[float, RecordId, StoredObject]],
+    k: int | None,
+) -> None:
+    """Order ``scored`` best-first and apply the ``k`` bound.
+
+    Shared by the index and scan paths so both rank (and truncate)
+    identically; the sort is stable over input already in heap order,
+    so equal scores keep their (page, slot) tie-break.
+    """
+    scored.sort(key=lambda match: -match[0])
+    if k is not None and len(scored) > k:
+        result.truncated = len(scored) - k
+        del scored[k:]
+    result.matches = scored
+
+
+def _check_k(k: int | None) -> None:
+    if k is not None and k < 1:
+        raise StormError(f"scored search needs k >= 1 or None, got {k}")
+
+
+@dataclass
 class SearchResult:
     """Outcome of one keyword search at one node."""
 
@@ -262,14 +319,71 @@ class StorM:
             yield from entries
 
     def search(self, keyword: str) -> SearchResult:
-        """Keyword search via the inverted index (reads only matching pages)."""
+        """Keyword search via the inverted index (reads only matching pages).
+
+        Returns the same match set, in the same heap order, as
+        :meth:`search_scan` — both paths now rank through the index's
+        :meth:`~repro.storm.index.KeywordIndex.lookup_ordered` heap
+        ordering, pinned by the consistency battery in
+        ``tests/storm/test_scored_search.py``.
+        """
         self._check_open()
         before = self.buffer.stats.snapshot()
         result = SearchResult(keyword)
-        rids = sorted(self.index.lookup(keyword), key=lambda r: (r.page_id, r.slot))
+        rids = self.index.lookup_ordered(keyword)
         for rid in rids:
             result.matches.append((rid, self.get(rid)))
         result.objects_examined = len(rids)
+        result.io = self.buffer.stats.since(before)
+        return result
+
+    def scored_search(self, keyword: str, k: int | None = None) -> ScoredSearchResult:
+        """Scored keyword search via the inverted index.
+
+        Each match carries a TF-style score
+        (:meth:`~repro.storm.objects.StoredObject.score`: matching-tag
+        count over total tag count) and the result is ordered score
+        descending with heap-order (page, slot) tie-breaks.  ``k``
+        bounds how many matches are surfaced; the cut count is reported
+        in :attr:`ScoredSearchResult.truncated`.  Scores come from the
+        decoded object's full tag tuple — never from the postings sets,
+        which deduplicate and therefore cannot see repeated tags — so
+        the index and scan paths score identically.
+        """
+        self._check_open()
+        _check_k(k)
+        before = self.buffer.stats.snapshot()
+        result = ScoredSearchResult(keyword)
+        scored = []
+        rids = self.index.lookup_ordered(keyword)
+        for rid in rids:
+            obj = self.get(rid)
+            scored.append((obj.score(keyword), rid, obj))
+        result.objects_examined = len(rids)
+        _settle_scored(result, scored, k)
+        result.io = self.buffer.stats.since(before)
+        return result
+
+    def scored_search_scan(
+        self, keyword: str, k: int | None = None
+    ) -> ScoredSearchResult:
+        """Scored keyword search by full scan — the paper's agent walk.
+
+        Same scores, order, and ``k`` semantics as :meth:`scored_search`
+        (the consistency battery asserts bit-equality), at the full-scan
+        cost profile of :meth:`search_scan`.
+        """
+        self._check_open()
+        _check_k(k)
+        before = self.buffer.stats.snapshot()
+        result = ScoredSearchResult(keyword)
+        scored = []
+        for rid, obj in self.scan():
+            result.objects_examined += 1
+            score = obj.score(keyword)
+            if score > 0.0:
+                scored.append((score, rid, obj))
+        _settle_scored(result, scored, k)
         result.io = self.buffer.stats.since(before)
         return result
 

@@ -1,0 +1,179 @@
+"""Property battery for the top-k merge operator.
+
+The in-network early termination is only correct if the
+:class:`TopKAccumulator` merge behaves like a proper bounded-lattice
+join: commutative, associative, idempotent, and invariant under any
+partition/permutation of the answer stream — so the accumulated state a
+clone carries is independent of which overlay path it travelled.  On
+top of that, dominance pruning (an ``add`` returning False) must never
+kill an entry that belongs in the true global top-k.  Hypothesis
+proves all of it over arbitrary entry streams.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.agents.topk import TopKAccumulator, TopKEntry
+from repro.errors import AgentError
+from repro.ids import BPID
+from repro.storm.heapfile import RecordId
+
+
+def _score_of(holder: BPID, rid: RecordId) -> float:
+    """A deterministic TF-like score per identity (ratios of small
+    integers, like :meth:`StoredObject.score`), so duplicated stream
+    entries are *true* duplicates — exactly what floods produce."""
+    mix = holder.node_id * 31 + rid.page_id * 7 + rid.slot * 3
+    return ((mix % 11) + 1) / 12
+
+
+def _entry(liglo: str, node_id: int, page: int, slot: int) -> TopKEntry:
+    holder = BPID(liglo, node_id)
+    rid = RecordId(page, slot)
+    return TopKEntry(_score_of(holder, rid), holder, rid)
+
+
+ENTRIES = st.builds(
+    _entry,
+    st.sampled_from(["10.0.0.1", "10.0.0.2", "10.0.0.9"]),
+    st.integers(min_value=0, max_value=4),
+    st.integers(min_value=0, max_value=3),
+    st.integers(min_value=0, max_value=5),
+)
+STREAMS = st.lists(ENTRIES, min_size=0, max_size=40)
+KS = st.integers(min_value=1, max_value=8)
+
+
+def reference(k, entries):
+    """Exhaustive-then-truncate: dedupe, rank globally, keep k."""
+    unique = {}
+    for entry in entries:
+        unique.setdefault((entry.holder, entry.rid), entry)
+    return tuple(sorted(unique.values(), key=lambda e: e.sort_key)[:k])
+
+
+def accumulate(k, entries):
+    acc = TopKAccumulator(k)
+    acc.merge(entries)
+    return acc
+
+
+class TestMergeAlgebra:
+    @settings(max_examples=200, deadline=None)
+    @given(k=KS, a=STREAMS, b=STREAMS)
+    def test_commutative(self, k, a, b):
+        assert accumulate(k, a + b) == accumulate(k, b + a)
+
+    @settings(max_examples=200, deadline=None)
+    @given(k=KS, a=STREAMS, b=STREAMS, c=STREAMS)
+    def test_associative(self, k, a, b, c):
+        left = accumulate(k, a)
+        left.merge(accumulate(k, b))
+        left.merge(c)
+        right = accumulate(k, b)
+        right.merge(c)
+        folded = accumulate(k, a)
+        folded.merge(right)
+        assert left == folded
+
+    @settings(max_examples=200, deadline=None)
+    @given(k=KS, stream=STREAMS)
+    def test_idempotent(self, k, stream):
+        once = accumulate(k, stream)
+        twice = accumulate(k, stream + stream)
+        again = accumulate(k, stream)
+        again.merge(once)
+        assert once == twice == again
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        k=KS,
+        stream=STREAMS,
+        seed=st.randoms(use_true_random=False),
+        cuts=st.lists(st.integers(min_value=0, max_value=40), max_size=5),
+    )
+    def test_partition_and_permutation_invariant(self, k, stream, seed, cuts):
+        shuffled = list(stream)
+        seed.shuffle(shuffled)
+        bounds = sorted({min(c, len(shuffled)) for c in cuts})
+        parts, previous = [], 0
+        for bound in bounds + [len(shuffled)]:
+            parts.append(shuffled[previous:bound])
+            previous = bound
+        # Merge each partition independently, then fold the partials —
+        # the shape of a flood where clones take different paths.
+        partials = [accumulate(k, part) for part in parts]
+        folded = TopKAccumulator(k)
+        for partial in partials:
+            folded.merge(partial)
+        assert folded == accumulate(k, stream)
+
+    @settings(max_examples=200, deadline=None)
+    @given(k=KS, stream=STREAMS)
+    def test_equals_exhaustive_then_truncate(self, k, stream):
+        assert accumulate(k, stream).entries == reference(k, stream)
+
+    @settings(max_examples=200, deadline=None)
+    @given(k=KS, stream=STREAMS)
+    def test_dominance_never_drops_a_true_topk_record(self, k, stream):
+        truth = {(e.holder, e.rid) for e in reference(k, stream)}
+        acc = TopKAccumulator(k)
+        for entry in stream:
+            if not acc.add(entry):
+                # The hop drops this entry for good: it must not belong
+                # in the exhaustive top-k of the *whole* stream.
+                assert (entry.holder, entry.rid) not in truth
+        assert {(e.holder, e.rid) for e in acc.entries} == truth
+
+    @settings(max_examples=200, deadline=None)
+    @given(k=KS, stream=STREAMS)
+    def test_threshold_only_tightens(self, k, stream):
+        acc = TopKAccumulator(k)
+        thresholds = []
+        for entry in stream:
+            acc.add(entry)
+            if acc.threshold is not None:
+                thresholds.append(acc.threshold)
+        # Tightening = the k-th best score only ever rises.
+        assert thresholds == sorted(thresholds)
+        assert len(acc) <= k
+
+    @settings(max_examples=200, deadline=None)
+    @given(k=KS, stream=STREAMS)
+    def test_state_round_trip(self, k, stream):
+        acc = accumulate(k, stream)
+        clone = TopKAccumulator.from_state(k, acc.as_state())
+        assert clone == acc
+        assert all(
+            isinstance(value, (float, str, int))
+            for row in acc.as_state()
+            for value in row
+        )
+
+
+class TestAccumulatorBasics:
+    def test_bad_k_rejected(self):
+        for bad in (0, -1, True, 2.5, None):
+            with pytest.raises((AgentError, TypeError)):
+                TopKAccumulator(bad)
+
+    def test_entries_best_first(self):
+        entries = [_entry("10.0.0.1", n, p, s) for n in range(3) for p in range(2) for s in range(2)]
+        acc = accumulate(4, entries)
+        keys = [entry.sort_key for entry in acc.entries]
+        assert keys == sorted(keys)
+        assert len(acc) == 4
+
+    def test_add_reports_membership(self):
+        best = TopKEntry(1.0, BPID("10.0.0.1", 1), RecordId(0, 0))
+        worse = TopKEntry(0.5, BPID("10.0.0.1", 2), RecordId(0, 1))
+        worst = TopKEntry(0.25, BPID("10.0.0.1", 3), RecordId(0, 2))
+        acc = TopKAccumulator(2)
+        assert acc.add(worse) and acc.add(worst)
+        assert acc.threshold == 0.25
+        assert acc.add(best)  # displaces the worst
+        assert acc.threshold == 0.5
+        assert not acc.add(worst)  # now dominated
+        assert acc.entries == (best, worse)

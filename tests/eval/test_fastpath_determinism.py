@@ -438,3 +438,136 @@ def test_new_strategies_self_identical_serial_vs_parallel():
     default = _routing_observables(None)
     assert _routing_observables(ExperimentRunner()) == default
     assert _routing_observables(ParallelExperimentRunner(jobs=2)) == default
+
+
+# ---------------------------------------------------------------------------
+# In-network top-k: REPRO_TOPK and k=None must leave legacy runs untouched
+# ---------------------------------------------------------------------------
+
+
+def _topk_flood_observables(top_k) -> tuple:
+    """A seeded star flood with several scored matches per rim node."""
+    deployment = build_network(
+        8,
+        config=BestPeerConfig(
+            max_direct_peers=8, strategy="static", top_k=top_k
+        ),
+        topology=star(8),
+    )
+    for index, node in enumerate(deployment.nodes[1:], 1):
+        node.share(["needle"] + ["pad"] * (index % 3), bytes([index]) * 64)
+    answer_hops = []
+    for _ in range(2):
+        handle = deployment.base.issue_query("needle")
+        deployment.sim.run()
+        answer_hops.extend(
+            sorted(
+                (str(ans.responder), ans.hops, ans.answer_count)
+                for ans in handle.answers
+            )
+        )
+        deployment.base.finish_query(handle)
+    network = deployment.network
+    return (
+        [host.bytes_sent for host in network.hosts.values()],
+        answer_hops,
+        network.bytes_carried,
+        network.packets_delivered,
+        network.packets_dropped,
+    )
+
+
+def test_topk_off_bitidentical_to_k_none(monkeypatch):
+    # REPRO_TOPK=off with a configured k is the legacy exhaustive path:
+    # same per-host bytes, hop counts, and packet totals as top_k=None.
+    from repro.agents.topk import TOPK_ENV_VAR
+
+    monkeypatch.delenv(TOPK_ENV_VAR, raising=False)
+    baseline = _topk_flood_observables(None)
+    monkeypatch.setenv(TOPK_ENV_VAR, "off")
+    assert _topk_flood_observables(4) == baseline
+    assert _topk_flood_observables(None) == baseline
+    # "on" with no configured k is equally invisible.
+    monkeypatch.setenv(TOPK_ENV_VAR, "on")
+    assert _topk_flood_observables(None) == baseline
+
+
+def test_legacy_workloads_unaffected_by_topk_env(monkeypatch):
+    # The per-call env check must be a pure read: legacy (k=None)
+    # deployments stay bit-identical whichever way the switch is set.
+    from repro.agents.topk import TOPK_ENV_VAR
+
+    monkeypatch.delenv(TOPK_ENV_VAR, raising=False)
+    drive, flood = _drive_deployment(), _flood_observables()
+    monkeypatch.setenv(TOPK_ENV_VAR, "off")
+    assert (_drive_deployment(), _flood_observables()) == (drive, flood)
+
+
+def test_series_identical_under_topk_bypass(monkeypatch, fastpath_results):
+    from repro.agents.topk import TOPK_ENV_VAR
+
+    monkeypatch.setenv(TOPK_ENV_VAR, "off")
+    assert _run_figures() == fastpath_results
+
+
+def test_series_identical_under_topk_bypass_parallel(
+    monkeypatch, fastpath_results
+):
+    # Checked per call, so --jobs workers inherit the switch via env.
+    from repro.agents.topk import TOPK_ENV_VAR
+
+    monkeypatch.setenv(TOPK_ENV_VAR, "off")
+    parallel = ParallelExperimentRunner(jobs=2)
+    fig5 = figure_5a(TINY, sizes=(1, 2, 4), runner=parallel)
+    fig8 = figure_8a(TINY, node_count=8, max_peers=4, holder_count=2, runner=parallel)
+    assert (fig5.series, fig8.series) == fastpath_results
+
+
+def _topk_figure_observables(runner) -> tuple:
+    """The top-k figure under the churn fault plan: every per-trial
+    observable, bounded (k=2) and exhaustive in the same sweep."""
+    from repro.eval.topk import figure_topk
+
+    params = FigureParams(objects_per_node=0, queries=2, seed=0)
+    result = figure_topk(
+        params,
+        node_count=8,
+        ks=(2, None),
+        ttls=(4,),
+        churn_rates=(0.3,),
+        runner=runner,
+    )
+    trials = figure_topk.last_trials
+    return (
+        result.series,
+        [
+            (
+                t["label"],
+                t["ttl"],
+                t["rate"],
+                t["answers_per_query"],
+                t["dominated_per_query"],
+                t["digests_per_query"],
+                t["messages_per_query"],
+                t["bytes_per_query"],
+                tuple(sorted(t["quality"].items())),
+                t["setup_packets"],
+                t["setup_bytes"],
+                t["bytes_carried"],
+                t["packets_delivered"],
+                tuple(sorted(t["drops_by_reason"].items())),
+                tuple(sorted(t["faults_applied"].items())),
+            )
+            for t in trials
+        ],
+    )
+
+
+def test_topk_figure_self_identical_serial_vs_parallel():
+    # A fixed-k sweep under the seeded fault plan: accumulator state
+    # rides the flood, dominated answers die mid-network, faults fire —
+    # and the whole timeline still replays bit-identically whichever
+    # runner executes it.
+    default = _topk_figure_observables(None)
+    assert _topk_figure_observables(ExperimentRunner()) == default
+    assert _topk_figure_observables(ParallelExperimentRunner(jobs=2)) == default

@@ -299,3 +299,48 @@ def test_batch_round_trip_property(data_):
     decoded = data.decode_message(frame)
     assert decoded == batch
     assert data.encode_message(batch) == frame
+
+
+# ---------------------------------------------------------------------------
+# Top-k frames (0x1007 ScoredAnswer, 0x1008 TopKDigest)
+# ---------------------------------------------------------------------------
+
+
+def test_topk_frames_registered():
+    from repro.agents.topk import ScoredAnswer, TopKDigest
+
+    assert data.spec_for_id(0x1007).cls is ScoredAnswer
+    assert data.spec_for_id(0x1008).cls is TopKDigest
+
+
+def test_topk_frames_round_trip_scores_exactly():
+    """TF scores are small-integer ratios; the F64 field must round-trip
+    them bit-exactly or merge tie-breaks would drift across the wire."""
+    from repro.agents.topk import _sample_scored_answer, _sample_topk_digest
+
+    for sample in (_sample_scored_answer(), _sample_topk_digest()):
+        frame = data.encode_message(sample)
+        assert frame[0] == data.FRAME_MAGIC
+        decoded = data.decode_message(frame)
+        assert decoded == sample
+        assert data.encode_message(decoded) == frame
+
+
+def test_scored_answer_live_address_streams():
+    from repro.agents.topk import ScoredAnswer, ScoredItem
+
+    answer = ScoredAnswer(
+        query_id=QueryId(BPID("live", 0), 1),
+        responder=BPID("live", 1),
+        responder_address=("127.0.0.1", 45302),
+        hops=1,
+        items=(
+            ScoredItem(
+                rid=RecordId(0, 0), keywords=("k",), size=1, score=1.0, payload=b"x"
+            ),
+        ),
+        dominated_dropped=3,
+    )
+    frame = data.try_encode(answer)
+    assert frame is not None
+    assert data.decode_message(frame) == answer
