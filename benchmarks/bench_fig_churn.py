@@ -8,9 +8,12 @@ at nonzero rates).  Shape assertions:
 * with no churn, recall is exactly 1.0 for both schemes — robustness
   machinery must cost a healthy network nothing;
 * recall declines as churn rises;
-* reconfiguring BPR never falls below static BPS at the highest rate.
+* reconfiguring BPR never falls below static BPS at the highest rate;
+* the BPR+RF2 overlay (rf=2 replication on top of reconfiguration)
+  never falls below plain BPR at any swept rate.
 
-``REPRO_BENCH_SCALE=smoke`` shrinks the sweep for CI.
+``REPRO_BENCH_SCALE=smoke`` shrinks the sweep for CI and neither
+asserts the comparison nor rewrites ``BENCH_churn.json``.
 """
 
 import os
@@ -29,7 +32,12 @@ RATES = (0.0, 0.25, 0.5) if SMOKE else (0.0, 0.1, 0.2, 0.3, 0.4, 0.5)
 def test_figure_churn(benchmark):
     result, elapsed = benchmark.pedantic(
         lambda: timed(
-            lambda: figure_churn(PARAMS, node_count=NODE_COUNT, churn_rates=RATES)
+            lambda: figure_churn(
+                PARAMS,
+                node_count=NODE_COUNT,
+                churn_rates=RATES,
+                replication_overlay=True,
+            )
         ),
         rounds=1,
         iterations=1,
@@ -38,15 +46,20 @@ def test_figure_churn(benchmark):
     publish(
         "churn",
         result,
-        elapsed=elapsed,
+        # In smoke mode, print/refresh the text rendering only: the
+        # published BENCH_churn.json always reflects the full sweep.
+        elapsed=None if SMOKE else elapsed,
         extra={
             "node_count": NODE_COUNT,
             "churn_rates": list(RATES),
             "trials": trials,
         },
     )
+    if SMOKE:
+        return
     bpr = dict(result.series_named("BPR"))
     bps = dict(result.series_named("BPS"))
+    rf2 = dict(result.series_named("BPR+RF2"))
     # A healthy network answers in full — for both schemes.
     assert bpr[0.0] == 1.0
     assert bps[0.0] == 1.0
@@ -56,6 +69,10 @@ def test_figure_churn(benchmark):
     assert bps[top] < 1.0
     # Reconfiguration never does worse than static peers under churn.
     assert bpr[top] >= bps[top]
+    # Replication on top of reconfiguration never does worse than
+    # reconfiguration alone, at any swept rate.
+    for rate in RATES:
+        assert rf2[rate] >= bpr[rate]
     # The fault plan really fired: crashes and restarts were applied.
     churned = [t for t in trials if t["rate"] == top]
     for trial in churned:

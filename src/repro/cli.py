@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Sequence
 
-from repro.eval import ablations, churn, figures, routing, topk
+from repro.eval import ablations, churn, figures, replication, routing, topk
 from repro.eval.experiment import (
     ExperimentRunner,
     FigureResult,
@@ -38,6 +38,7 @@ FIGURES: dict[str, Callable[[FigureParams], FigureResult]] = {
     "8a": figures.figure_8a,
     "8b": figures.figure_8b,
     "churn": churn.figure_churn,
+    "replication": replication.figure_replication,
     "routing": routing.figure_routing,
     "topk": topk.figure_topk,
 }
@@ -151,6 +152,16 @@ def _run_figure(args: argparse.Namespace) -> int:
         print()
         print("per-(k, ttl, rate) traffic/quality detail:")
         print(format_topk_trials(topk.figure_topk.last_trials))
+    elif args.name == "replication":
+        from repro.eval.report import format_replication_trials
+
+        print()
+        print("per-(scheme, rate) resilience/overhead detail:")
+        print(
+            format_replication_trials(
+                replication.figure_replication.last_trials
+            )
+        )
     return 0
 
 
@@ -186,10 +197,15 @@ def _run_verify(args: argparse.Namespace) -> int:
 
 def _run_demo() -> int:
     from repro import BestPeerConfig, build_network, line
+    from repro.replication import ReplicationPolicy
 
     net = build_network(
         6,
-        config=BestPeerConfig(max_direct_peers=3, strategy="maxcount"),
+        config=BestPeerConfig(
+            max_direct_peers=3,
+            strategy="maxcount",
+            replication=ReplicationPolicy(rf=2, hot_rf=3, cache_capacity=8),
+        ),
         topology=line(6),
     )
     net.nodes[4].share(["demo"], b"found at the far end")
@@ -203,11 +219,18 @@ def _run_demo() -> int:
     net.base.finish_query(first)
     second = net.base.issue_query("demo")
     net.sim.run()
-    print(
-        f"query 2: {second.network_answer_count} answers in "
-        f"{second.completion_time:.4f}s after reconfiguration"
-    )
-    print(f"speedup: {first.completion_time / second.completion_time:.2f}x")
+    if second.served_from_cache:
+        print(
+            f"query 2: {second.network_answer_count} answers replayed "
+            "from the invalidation-coherent result cache (no network)"
+        )
+        print("speedup: inf (cache hit)")
+    else:
+        print(
+            f"query 2: {second.network_answer_count} answers in "
+            f"{second.completion_time:.4f}s after reconfiguration"
+        )
+        print(f"speedup: {first.completion_time / second.completion_time:.2f}x")
     from repro.eval.report import format_degradation_stats, format_network_stats
 
     print()
@@ -216,6 +239,11 @@ def _run_demo() -> int:
     print()
     print("network/wire counters (control vs data plane):")
     print(format_network_stats(net.network))
+    from repro.eval.report import format_replication_stats
+
+    print()
+    print("replication/cache counters (rf=2, hot_rf=3, cache=8):")
+    print(format_replication_stats(net.nodes))
     net.base.finish_query(second)
     return 0
 

@@ -14,6 +14,7 @@ from repro.agents.costs import AgentCosts
 from repro.agents.envelope import DEFAULT_TTL
 from repro.agents.messages import MODE_DIRECT, MODE_METADATA
 from repro.errors import BestPeerError
+from repro.replication.policy import ReplicationPolicy
 from repro.util.retry import RetryPolicy
 
 
@@ -65,6 +66,11 @@ class BestPeerConfig:
     #: (see repro.agents.topk).  None keeps the paper's exhaustive
     #: floods bit-identical; REPRO_TOPK=off bypasses per call.
     top_k: int | None = None
+    #: replication and hot-object caching knobs (see
+    #: repro.replication).  The default ``rf=1`` policy keeps the
+    #: paper's single-copy behaviour bit-identical;
+    #: REPRO_REPLICATION=off bypasses per call.
+    replication: ReplicationPolicy = field(default_factory=ReplicationPolicy)
 
     def __post_init__(self) -> None:
         if self.suspect_after < 1:

@@ -20,6 +20,7 @@ Lifecycle (Section 2):
 
 from __future__ import annotations
 
+from dataclasses import replace
 from typing import Any, Callable, Sequence
 
 from repro.agents.agent import Agent
@@ -68,6 +69,8 @@ from repro.liglo.client import LigloClient, RegistrationResult
 from repro.net.address import IPAddress
 from repro.net.message import Packet
 from repro.net.network import Network
+from repro.replication.agent import ReplicatedSearchAgent
+from repro.replication.manager import ReplicationManager
 from repro.storm.heapfile import RecordId
 from repro.storm.store import StorM
 from repro.util.randomness import derive_rng
@@ -148,6 +151,10 @@ class BestPeerNode:
         self.hint_queries = 0
         self.hint_hits = 0
         self.hint_fallbacks = 0
+        #: replica placement, invalidation, and hot-object caching;
+        #: inert (no frames, no stores) under the default rf=1 policy
+        self.replication = ReplicationManager(self)
+        self.replication.bind()
         bind = getattr(self.strategy, "bind", None)
         if bind is not None:
             bind(self)
@@ -182,6 +189,9 @@ class BestPeerNode:
                 for peer_bpid, peer_address in result.peers:
                     if not self.peers.is_full and peer_bpid not in self.peers:
                         self.peers.add(peer_bpid, peer_address, now)
+                # Objects shared before the join can now be replicated:
+                # the node has an identity and LIGLO-suggested peers.
+                self.replication.flush_pending()
             if on_joined is not None:
                 on_joined(result)
 
@@ -251,6 +261,9 @@ class BestPeerNode:
             if on_refreshed is not None:
                 on_refreshed()
             return
+        # Objects shared while this node was offline can replicate now
+        # that it is reachable again.
+        self.replication.flush_pending()
         if self.liglo.bpid is not None:
             if self.config.retry_policy is not None:
                 self.liglo.announce_verified(
@@ -340,6 +353,7 @@ class BestPeerNode:
         """Publish a static object into this node's sharable StorM store."""
         rid = self.storm.put(keywords, payload)
         self._publish_hints(keywords)
+        self.replication.on_share((rid,))
         return rid
 
     def share_many(
@@ -350,7 +364,36 @@ class BestPeerNode:
         self._publish_hints(
             [keyword for keywords, _payload in objects for keyword in keywords]
         )
+        self.replication.on_share(rids)
         return rids
+
+    def unshare(self, rid: RecordId) -> None:
+        """Retire a shared object: delete it and invalidate its replicas.
+
+        Holders tombstone the record's version, so no in-flight or
+        replayed replica push can ever resurrect the deleted content.
+        """
+        obj = self.storm.get(rid)
+        self.storm.delete(rid)
+        self.replication.on_delete(rid, obj.keywords)
+
+    def reshare(
+        self, rid: RecordId, keywords: Sequence[str], payload: bytes
+    ) -> RecordId:
+        """Republish a shared object with fresh keywords/content.
+
+        The replacement gets a bumped version; every replica holder is
+        told its copy went stale and lazily read-repairs from the new
+        record (detecting a stale replica costs one invalidate frame,
+        repairing it one ordinary out-of-network fetch).
+        """
+        old = self.storm.get(rid)
+        self.storm.delete(rid)
+        new_rid = self.storm.put(keywords, payload)
+        self._publish_hints(keywords)
+        new_keywords = self.storm.get(new_rid).keywords
+        self.replication.on_reshare(rid, new_rid, old.keywords, new_keywords)
+        return new_rid
 
     def _publish_hints(self, keywords: Sequence[str]) -> None:
         """Report newly shared keywords to our LIGLO's hint directory.
@@ -450,11 +493,38 @@ class BestPeerNode:
                     handle.local_result = self.storm.search(keyword)
                 else:
                     handle.local_result = self.storm.search_scan(keyword)
-            agent = StorMSearchAgent(
-                keyword,
-                mode=mode,
-                use_index=self.config.use_index,
-            )
+            cached = self.replication.cached_answers(keyword)
+            if cached is not None:
+                # Hot-query fast path: replay the cached answer set into
+                # the fresh handle — no agents travel, no bytes move.
+                self._replay_cached(handle, cached)
+                if auto_finish_after is not None:
+                    self._arm_auto_finish(handle, auto_finish_after)
+                return handle
+            if self.replication.enabled and self.replication.policy.replicates:
+                # Replica-aware searches ship a different (slightly
+                # larger) agent class, so they are dispatched only when
+                # the initiator's policy actually places replicas —
+                # rf=1 / REPRO_REPLICATION=off floods stay bit-identical.
+                agent = ReplicatedSearchAgent(
+                    keyword,
+                    mode=mode,
+                    use_index=self.config.use_index,
+                )
+                # If this very node holds a replica of a matching object
+                # (agents never execute at the initiator), answer
+                # ourselves — zero hops, zero traffic.
+                self_answer = self.replication.self_answer(
+                    query_id, keyword, mode, self.config.use_index
+                )
+                if self_answer is not None:
+                    handle.record_answer(self_answer, self.sim.now)
+            else:
+                agent = StorMSearchAgent(
+                    keyword,
+                    mode=mode,
+                    use_index=self.config.use_index,
+                )
         for _ in self.peers.suspect_bpids():
             # The flood skips suspected-dead peers: the query still runs,
             # but the caller can see its answer set may be partial.
@@ -583,6 +653,9 @@ class BestPeerNode:
         )
         for answer in answers:
             self.peers.note_alive(answer.responder, self.sim.now)
+            self.replication.note_peer_alive(
+                answer.responder, answer.responder_address
+            )
             handle = self._queries.get(answer.query_id)
             if handle is None or handle.finished:
                 self.tracer.record(
@@ -590,6 +663,26 @@ class BestPeerNode:
                 )
                 continue
             handle.record_answer(answer, self.sim.now)
+
+    def _replay_cached(self, handle: QueryHandle, cached: tuple) -> None:
+        """Serve a query from the result cache: replay the answer set.
+
+        Each cached answer is re-keyed to the new query id and recorded
+        as if it had just arrived; the handle is marked so reports can
+        tell a zero-traffic cache hit from a network round.
+        """
+        handle.served_from_cache = True
+        now = self.sim.now
+        for answer in cached:
+            handle.record_answer(replace(answer, query_id=handle.query_id), now)
+        self.tracer.record(
+            now,
+            "replication",
+            "cache-hit",
+            node=self.name,
+            query=str(handle.query_id),
+            keyword=handle.keyword,
+        )
 
     def _arm_auto_finish(self, handle: QueryHandle, quiet_period: float) -> None:
         def check() -> None:
@@ -611,6 +704,12 @@ class BestPeerNode:
         if handle.query_id not in self._queries:
             raise QueryError(f"{handle.query_id} does not belong to this node")
         handle.mark_finished(self.sim.now)
+        if handle.top_k is None and not handle.served_from_cache:
+            # Exhaustive network rounds feed the hot-query result cache
+            # (replayed hits must not re-cache themselves, and top-k
+            # answer sets depend on the travelling threshold, so only
+            # full answer sets are cacheable).
+            self.replication.cache_answers(handle.keyword, tuple(handle.answers))
         self._reconfigure(handle)
 
     def _reconfigure(self, handle: QueryHandle) -> None:
@@ -947,7 +1046,13 @@ class BestPeerNode:
             obj = self.storm.get(request.rid)
             reply = FetchReply(request.token, request.rid, obj.payload, found=True)
         except Exception:  # removed/updated during the delay - Section 2
-            reply = FetchReply(request.token, request.rid, None, found=False)
+            # Replica-flagged rids (high page-id bit) answer from the
+            # replica store, so downloads work against holders too.
+            payload = self.replication.replica_payload(request.rid)
+            if payload is not None:
+                reply = FetchReply(request.token, request.rid, payload, found=True)
+            else:
+                reply = FetchReply(request.token, request.rid, None, found=False)
         self.host.send(packet.src, PROTO_FETCH_REPLY, reply)
 
     def _on_fetch_reply(self, packet: Packet) -> None:
@@ -1098,6 +1203,7 @@ class BestPeerNode:
             "hint_fallbacks": self.hint_fallbacks,
             "hint_keywords_published": len(self._published_hints),
         }
+        stats.update(self.replication.statistics())
         if self.engine is not None:
             stats["agents_executed"] = self.engine.agents_executed
             stats["agents_deduped"] = self.engine.agents_deduped

@@ -59,6 +59,9 @@ class QueryHandle:
     #: degradation cause -> occurrence count (fetch-timeout, data-timeout,
     #: suspect-peer-skipped, ...)
     drop_causes: dict[str, int] = field(default_factory=dict)
+    #: answers were replayed from the initiator's result cache — no
+    #: agents travelled, no network traffic was spent on this query
+    served_from_cache: bool = False
     #: called with (handle, answer) on every arrival
     on_answer: Callable[["QueryHandle", AnswerMessage], None] | None = None
     #: called with (handle,) when the query finishes
@@ -148,6 +151,26 @@ class QueryHandle:
                 else:
                     seen.add(item.payload)
         return len(seen) + placeholder
+
+    @property
+    def distinct_answer_count(self) -> int:
+        """Network answers deduplicated by object content.
+
+        With RF > 1 the owner *and* its replica holders each answer, so
+        :attr:`network_answer_count` double-counts replicated objects.
+        This counts each distinct ``(keywords, size, payload)`` identity
+        once, making RF > 1 recall directly comparable to RF = 1 — on a
+        fault-free network the two counts are equal.  (Two genuinely
+        different objects with identical tags, size, and payload — or
+        identical tags and size in metadata mode — merge; the corpora
+        the figures use give every object a distinct keyword, so the
+        approximation is exact there.)
+        """
+        seen: set[tuple] = set()
+        for answer in self.answers:
+            for item in answer.items:
+                seen.add((item.keywords, item.size, item.payload))
+        return len(seen)
 
     @property
     def last_arrival(self) -> float | None:

@@ -192,6 +192,10 @@ class AccessDeniedError(SharingError):
     """An active object refused access for the requester's access level."""
 
 
+class ReplicationError(BestPeerError):
+    """Replication subsystem misuse (bad policy, unknown replica, ...)."""
+
+
 # ---------------------------------------------------------------------------
 # Topologies / workloads / evaluation
 # ---------------------------------------------------------------------------

@@ -22,12 +22,15 @@ from repro.core.config import BestPeerConfig
 from repro.eval.experiment import ExperimentRunner, FigureResult
 from repro.eval.figures import FigureParams, _run_tasks
 from repro.faults import FaultPlan, SimFaultInjector
+from repro.replication import ReplicationPolicy
 from repro.topology.builders import random_graph
 from repro.util.retry import RetryPolicy
 from repro.workloads.corpus import KeywordCorpus
 
 SCHEME_BPS = "BPS"
 SCHEME_BPR = "BPR"
+#: Opt-in overlay series: BPR reconfiguration plus rf=2 replication.
+SCHEME_BPR_RF2 = "BPR+RF2"
 
 #: Simulated seconds of churn the query workload is spread across.
 CHURN_HORIZON = 30.0
@@ -73,7 +76,10 @@ def churn_trial(task: tuple[str, float, int, FigureParams]) -> dict:
     """One (scheme, churn rate) point; module-level so it pickles to the
     parallel runner's workers."""
     scheme, rate, node_count, params = task
-    strategy = "maxcount" if scheme == SCHEME_BPR else "static"
+    strategy = "static" if scheme == SCHEME_BPS else "maxcount"
+    replication = (
+        ReplicationPolicy(rf=2) if scheme == SCHEME_BPR_RF2 else ReplicationPolicy()
+    )
     config = BestPeerConfig(
         max_direct_peers=8,
         ttl=max(7, node_count),
@@ -82,6 +88,7 @@ def churn_trial(task: tuple[str, float, int, FigureParams]) -> dict:
         suspect_after=2,
         retry_seed=params.seed,
         agent_costs=params.costs,
+        replication=replication,
     )
     topology = random_graph(node_count, degree=3, seed=params.seed)
     deployment = build_network(node_count, config=config, topology=topology)
@@ -108,9 +115,18 @@ def churn_trial(task: tuple[str, float, int, FigureParams]) -> dict:
         deployment.sim.schedule(2.0 + q * step, issue)
     deployment.sim.run()
     expected = node_count - 1
-    recalls = [
-        round(handle.network_answer_count / expected, 6) for handle in handles
-    ]
+    # The replication overlay dedups by answer content: RF > 1 means two
+    # live copies may both respond, and counting both would let recall
+    # exceed what the network actually holds.
+    if scheme == SCHEME_BPR_RF2:
+        recalls = [
+            round(min(handle.distinct_answer_count, expected) / expected, 6)
+            for handle in handles
+        ]
+    else:
+        recalls = [
+            round(handle.network_answer_count / expected, 6) for handle in handles
+        ]
     answer_hops = sorted(
         answer.hops for handle in handles for answer in handle.answers
     )
@@ -137,6 +153,7 @@ def figure_churn(
     node_count: int = 12,
     churn_rates: tuple[float, ...] = DEFAULT_CHURN_RATES,
     runner: ExperimentRunner | None = None,
+    replication_overlay: bool = False,
 ) -> FigureResult:
     """Recall vs. churn rate, BPR against BPS.
 
@@ -148,9 +165,12 @@ def figure_churn(
     """
     if node_count < 3:
         raise ValueError(f"churn experiment needs >= 3 nodes, got {node_count}")
+    schemes = (SCHEME_BPS, SCHEME_BPR)
+    if replication_overlay:
+        schemes = schemes + (SCHEME_BPR_RF2,)
     tasks = [
         (scheme, rate, node_count, params)
-        for scheme in (SCHEME_BPS, SCHEME_BPR)
+        for scheme in schemes
         for rate in churn_rates
     ]
     trials = _run_tasks(runner, churn_trial, tasks)

@@ -149,6 +149,70 @@ def format_degradation_stats(nodes) -> str:
     return format_table(["counter", "value"], rows)
 
 
+def replication_stats(nodes) -> dict[str, object]:
+    """Aggregate replication/cache counters across ``nodes``.
+
+    Sums each node's :meth:`~repro.replication.ReplicationManager.statistics`
+    — replicas held and pushed, replica answers served for dead owners,
+    cache hits/misses, invalidations, and lazy read-repairs.
+    """
+    stats: dict[str, object] = {}
+    for node in nodes:
+        for key, value in node.replication.statistics().items():
+            stats[key] = stats.get(key, 0) + value
+    return stats
+
+
+def format_replication_stats(nodes) -> str:
+    """Render aggregate replication counters as a text table."""
+    stats = replication_stats(nodes)
+    rows = [[key, value] for key, value in stats.items()]
+    return format_table(["counter", "value"], rows)
+
+
+def format_replication_trials(trials: Sequence[dict]) -> str:
+    """Render replication trial dicts (one per (scheme, rate) point).
+
+    The resilience-vs-overhead trade each scheme makes: mean recall next
+    to bytes per query, replica answers (queries a holder saved after
+    the owner died), cache hits, and the faults actually applied.
+    """
+    rows = []
+    for trial in trials:
+        rep = trial["replication"]
+        faults = " ".join(
+            f"{kind}={count}"
+            for kind, count in sorted(trial["faults_applied"].items())
+        )
+        rows.append(
+            [
+                trial["scheme"],
+                trial["rate"],
+                trial["mean_recall"],
+                trial["bytes_per_query"],
+                rep["replicas_held"],
+                rep["replica_answers"],
+                f"{rep['cache_hits']}/{rep['cache_hits'] + rep['cache_misses']}",
+                rep["stale_repairs"],
+                faults or "-",
+            ]
+        )
+    return format_table(
+        [
+            "scheme",
+            "rate",
+            "recall",
+            "bytes/query",
+            "replicas",
+            "replica answers",
+            "cache hits",
+            "repairs",
+            "faults",
+        ],
+        rows,
+    )
+
+
 def format_churn_trials(trials: Sequence[dict]) -> str:
     """Render churn trial dicts (one per (scheme, rate) point) as a table.
 

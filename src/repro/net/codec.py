@@ -469,6 +469,7 @@ def load_registrations() -> None:
     import repro.core.sharing  # noqa: F401
     import repro.core.shipping  # noqa: F401
     import repro.liglo.messages  # noqa: F401
+    import repro.replication.messages  # noqa: F401
 
 
 # ---------------------------------------------------------------------------

@@ -330,6 +330,7 @@ def load_registrations() -> None:
     import repro.agents.topk  # noqa: F401
     import repro.core.sharing  # noqa: F401
     import repro.core.shipping  # noqa: F401
+    import repro.replication.messages  # noqa: F401
 
 
 # ---------------------------------------------------------------------------

@@ -274,3 +274,63 @@ class TestRejoinRetry:
         node.rejoin()
         net.sim.run()
         assert len(node.peers) == peer_count  # kept, not dropped
+
+
+class TestSuspicionReplicationInterplay:
+    """Regression: eviction must not make a rejoined peer unplaceable.
+
+    A peer that answered queries, then went silent long enough to be
+    suspected, discarded, and backfilled, used to vanish from the
+    owner's world entirely — after it rejoined (under a fresh IP, per
+    Section 2), no new share could ever select it as a replica holder.
+    Two mechanisms combine to fix that: the replication manager keeps a
+    bounded last-seen ledger fed by answers (so the peer table
+    forgetting the peer does not erase it), and an offer that times out
+    against the ledger's stale address is re-sent once to the address
+    the peer's registered LIGLO currently reports.
+    """
+
+    def test_evicted_and_backfilled_peer_is_rediscoverable_as_holder(self):
+        from repro.replication import ReplicationPolicy
+
+        net = faulted_network(
+            nodes=4,
+            topology=line(4),
+            strategy="maxcount",
+            replication=ReplicationPolicy(rf=4),
+        )
+        owner, peer, backfill = net.nodes[1], net.nodes[2], net.nodes[3]
+
+        # The peer proves itself by answering one of the owner's queries,
+        # which feeds the replication manager's last-seen ledger.
+        peer.share(["kw"], b"proof-of-life")
+        net.sim.run()
+        handle = owner.issue_query("kw")
+        net.sim.run()
+        owner.finish_query(handle)
+        assert handle.distinct_answer_count == 1
+
+        # Silence: the peer is suspected, evicted, and backfilled.
+        assert owner.peers.note_timeout(peer.bpid, threshold=1)
+        owner.peers.discard(peer.bpid)
+        if backfill.bpid not in owner.peers:
+            owner.peers.add(backfill.bpid, backfill.host.address)
+        assert peer.bpid not in owner.peers
+
+        # The peer bounces and reconnects under a fresh IP; the owner's
+        # table still does not know it, and the ledger address is stale.
+        old_address = peer.host.address
+        peer.leave()
+        peer.rejoin()
+        net.sim.run()
+        assert peer.bpid not in owner.peers
+        assert peer.host.address != old_address
+
+        # A fresh share must still be able to place a copy on it: the
+        # stale-address offer times out (one charged timeout), the LIGLO
+        # resolve finds the new IP, and the re-offer lands.
+        rid = owner.share(["fresh"], b"fresh-content")
+        net.sim.run()
+        assert owner.request_timeouts["replica"] == 1
+        assert peer.bpid in owner.replication.holders_of(rid)
+        assert peer.replication.replicas_held >= 1

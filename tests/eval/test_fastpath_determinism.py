@@ -571,3 +571,145 @@ def test_topk_figure_self_identical_serial_vs_parallel():
     default = _topk_figure_observables(None)
     assert _topk_figure_observables(ExperimentRunner()) == default
     assert _topk_figure_observables(ParallelExperimentRunner(jobs=2)) == default
+
+
+# ---------------------------------------------------------------------------
+# Replication: REPRO_REPLICATION and rf=1 must leave legacy runs untouched
+# ---------------------------------------------------------------------------
+
+
+def _replication_flood_observables(policy) -> tuple:
+    """A seeded star flood under an explicit replication policy."""
+    from repro.replication import ReplicationPolicy
+
+    deployment = build_network(
+        8,
+        config=BestPeerConfig(
+            max_direct_peers=8,
+            strategy="static",
+            replication=policy or ReplicationPolicy(),
+        ),
+        topology=star(8),
+    )
+    for index, node in enumerate(deployment.nodes[1:], 1):
+        node.share(["needle"] + ["pad"] * (index % 3), bytes([index]) * 64)
+    answer_hops = []
+    for _ in range(2):
+        handle = deployment.base.issue_query("needle")
+        deployment.sim.run()
+        answer_hops.extend(
+            sorted(
+                (str(ans.responder), ans.hops, ans.answer_count)
+                for ans in handle.answers
+            )
+        )
+        deployment.base.finish_query(handle)
+    network = deployment.network
+    return (
+        [host.bytes_sent for host in network.hosts.values()],
+        answer_hops,
+        network.bytes_carried,
+        network.packets_delivered,
+        network.packets_dropped,
+    )
+
+
+def test_replication_off_bitidentical_to_rf1(monkeypatch):
+    # REPRO_REPLICATION=off with an active policy is the legacy
+    # single-copy path: same per-host bytes, hop counts, and packet
+    # totals as the default rf=1 policy.  "on" with rf=1 is equally
+    # invisible — the default policy replicates nothing.
+    from repro.replication import REPLICATION_ENV_VAR, ReplicationPolicy
+
+    monkeypatch.delenv(REPLICATION_ENV_VAR, raising=False)
+    baseline = _replication_flood_observables(None)
+    monkeypatch.setenv(REPLICATION_ENV_VAR, "off")
+    assert (
+        _replication_flood_observables(
+            ReplicationPolicy(rf=2, hot_rf=3, cache_capacity=8)
+        )
+        == baseline
+    )
+    assert _replication_flood_observables(None) == baseline
+    monkeypatch.setenv(REPLICATION_ENV_VAR, "on")
+    assert _replication_flood_observables(ReplicationPolicy(rf=1)) == baseline
+
+
+def test_legacy_workloads_unaffected_by_replication_env(monkeypatch):
+    # The per-call env check must be a pure read: default-policy
+    # deployments stay bit-identical whichever way the switch is set.
+    from repro.replication import REPLICATION_ENV_VAR
+
+    monkeypatch.delenv(REPLICATION_ENV_VAR, raising=False)
+    drive, flood = _drive_deployment(), _flood_observables()
+    monkeypatch.setenv(REPLICATION_ENV_VAR, "off")
+    assert (_drive_deployment(), _flood_observables()) == (drive, flood)
+
+
+def test_series_identical_under_replication_bypass(monkeypatch, fastpath_results):
+    from repro.replication import REPLICATION_ENV_VAR
+
+    monkeypatch.setenv(REPLICATION_ENV_VAR, "off")
+    assert _run_figures() == fastpath_results
+
+
+def test_series_identical_under_replication_bypass_parallel(
+    monkeypatch, fastpath_results
+):
+    # Checked per call, so --jobs workers inherit the switch via env.
+    from repro.replication import REPLICATION_ENV_VAR
+
+    monkeypatch.setenv(REPLICATION_ENV_VAR, "off")
+    parallel = ParallelExperimentRunner(jobs=2)
+    fig5 = figure_5a(TINY, sizes=(1, 2, 4), runner=parallel)
+    fig8 = figure_8a(TINY, node_count=8, max_peers=4, holder_count=2, runner=parallel)
+    assert (fig5.series, fig8.series) == fastpath_results
+
+
+def _replication_figure_observables(runner) -> tuple:
+    """The replication figure under the churn fault plan: every
+    per-trial observable, all three schemes in the same sweep."""
+    from repro.eval.replication import figure_replication
+
+    params = FigureParams(objects_per_node=0, queries=2, seed=0)
+    result = figure_replication(
+        params,
+        node_count=8,
+        churn_rates=(0.0, 0.3),
+        runner=runner,
+    )
+    trials = figure_replication.last_trials
+    return (
+        result.series,
+        [
+            (
+                t["scheme"],
+                t["rate"],
+                tuple(t["recalls"]),
+                t["cached_queries"],
+                t["messages_per_query"],
+                t["bytes_per_query"],
+                t["setup_packets"],
+                t["setup_bytes"],
+                t["bytes_carried"],
+                t["packets_delivered"],
+                tuple(sorted(t["drops_by_reason"].items())),
+                t["degraded_queries"],
+                tuple(sorted(t["faults_applied"].items())),
+                tuple(sorted(t["replication"].items())),
+            )
+            for t in trials
+        ],
+    )
+
+
+def test_replication_figure_self_identical_serial_vs_parallel():
+    # Offers, pushes, invalidations, cache hits and replica answers all
+    # ride the same seeded timeline; the sweep must replay
+    # bit-identically whichever runner executes it.
+    default = _replication_figure_observables(None)
+    assert _replication_figure_observables(ExperimentRunner()) == default
+    assert (
+        _replication_figure_observables(ParallelExperimentRunner(jobs=2))
+        == default
+    )

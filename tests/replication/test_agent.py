@@ -1,0 +1,108 @@
+"""Direct execution of the replica-aware search agent.
+
+Engine paths exercise the exec'd shipped copy (whose code runs under an
+``<agent:...>`` filename); executing the module's own class here keeps
+the agent logic visible to coverage of this package — same pattern as
+the legacy StorM agent's direct-execution tests.
+"""
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import BestPeerConfig
+from repro.replication import ReplicatedSearchAgent, ReplicationPolicy, is_replica_rid
+from repro.storm import StorM
+from repro.topology.builders import line
+
+
+class RecordingContext:
+    """Minimal stand-in for AgentContext."""
+
+    def __init__(self, storm, node=None):
+        self.storm = storm
+        self.services = {"node": node} if node is not None else {}
+        self.charged = []
+        self.replies = []
+
+    def charge_search(self, result):
+        self.charged.append(result)
+
+    def reply(self, items):
+        self.replies.append(list(items))
+
+
+def _storm(count=2, size=16):
+    storm = StorM()
+    for index in range(count):
+        storm.put(["k"], bytes([index]) * size)
+    return storm
+
+
+def _holder_node():
+    """A real node that holds one replica of a remote owner's record."""
+    net = build_network(
+        2,
+        config=BestPeerConfig(
+            max_direct_peers=4,
+            strategy="maxcount",
+            replication=ReplicationPolicy(rf=2),
+        ),
+        topology=line(2),
+    )
+    base, owner = net.nodes
+    owner.share(["k"], b"replica-content!")
+    net.sim.run()
+    assert base.replication.replicas_held == 1
+    return base
+
+
+class TestReplicatedSearchAgent:
+    def test_mode_validation(self):
+        with pytest.raises(ValueError):
+            ReplicatedSearchAgent("k", mode="telepathy")
+
+    def test_primary_matches_without_a_node_service(self):
+        # Bare engines (no embedding node) still answer from the host's
+        # own store; the replica half quietly no-ops.
+        context = RecordingContext(_storm())
+        ReplicatedSearchAgent("k").execute(context)
+        (items,) = context.replies
+        assert len(items) == 2
+        assert all(item.payload is not None for item in items)
+        assert len(context.charged) == 1
+
+    def test_index_and_scan_paths_agree(self):
+        counts = {}
+        for use_index in (False, True):
+            context = RecordingContext(_storm(count=3))
+            ReplicatedSearchAgent("k", use_index=use_index).execute(context)
+            (items,) = context.replies
+            counts[use_index] = len(items)
+        assert counts[False] == counts[True] == 3
+
+    def test_silent_miss_unless_reply_empty(self):
+        context = RecordingContext(_storm())
+        ReplicatedSearchAgent("ghost").execute(context)
+        assert context.replies == []
+        context = RecordingContext(_storm())
+        ReplicatedSearchAgent("ghost", reply_empty=True).execute(context)
+        assert context.replies == [[]]
+
+    def test_replica_matches_join_the_answer(self):
+        holder = _holder_node()
+        context = RecordingContext(holder.storm, node=holder)
+        ReplicatedSearchAgent("k").execute(context)
+        (items,) = context.replies
+        assert len(items) == 1  # holder's own store is empty; replica hits
+        assert is_replica_rid(items[0].rid)
+        assert items[0].payload == b"replica-content!"
+        assert len(context.charged) == 2  # primary scan + replica scan
+        assert holder.replication.replica_answers == 1
+
+    def test_metadata_mode_strips_replica_payloads(self):
+        holder = _holder_node()
+        context = RecordingContext(holder.storm, node=holder)
+        ReplicatedSearchAgent("k", mode="metadata", use_index=True).execute(context)
+        (items,) = context.replies
+        assert items[0].payload is None
+        assert items[0].size == 16

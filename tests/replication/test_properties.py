@@ -1,0 +1,120 @@
+"""Hypothesis properties of the replication subsystem.
+
+Two invariants the whole design hangs on:
+
+* **RF-invariance**: on a fault-free network, the *deduped* answer
+  content of any query is identical under rf 1, 2, and 3 — replication
+  adds copies, never answers.
+* **No resurrection**: whatever order shares, reshares, queries, and
+  the final delete arrive in, a deleted record's content never appears
+  in any later answer set, and no holder retains a copy of it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.builder import build_network
+from repro.core.config import BestPeerConfig
+from repro.replication import ReplicationPolicy
+from repro.topology.builders import random_graph
+
+KEYWORDS = ("alpha", "beta", "gamma")
+
+#: (node index 1..4, keyword index, payload byte) per shared object.
+OBJECTS = st.lists(
+    st.tuples(
+        st.integers(min_value=1, max_value=4),
+        st.integers(min_value=0, max_value=len(KEYWORDS) - 1),
+        st.integers(min_value=0, max_value=255),
+    ),
+    min_size=1,
+    max_size=5,
+)
+
+SLOW_NETWORK = settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def _network(rf: int, node_count: int = 5):
+    config = BestPeerConfig(
+        max_direct_peers=8,
+        strategy="maxcount",
+        replication=ReplicationPolicy(rf=rf),
+    )
+    return build_network(
+        node_count,
+        config=config,
+        topology=random_graph(node_count, degree=3, seed=7),
+    )
+
+
+def _answer_contents(handle) -> frozenset:
+    return frozenset(
+        (item.keywords, item.size, item.payload)
+        for answer in handle.answers
+        for item in answer.items
+    )
+
+
+@SLOW_NETWORK
+@given(objects=OBJECTS)
+def test_deduped_answers_invariant_under_rf(objects):
+    per_rf: dict[int, list] = {}
+    for rf in (1, 2, 3):
+        net = _network(rf)
+        for node_index, keyword_index, payload_byte in objects:
+            net.nodes[node_index].share(
+                [KEYWORDS[keyword_index]], bytes([payload_byte]) * 16
+            )
+        net.sim.run()
+        outcomes = []
+        for keyword in KEYWORDS:
+            handle = net.base.issue_query(keyword)
+            net.sim.run()
+            net.base.finish_query(handle)
+            outcomes.append(
+                (keyword, _answer_contents(handle), handle.distinct_answer_count)
+            )
+        per_rf[rf] = outcomes
+    assert per_rf[2] == per_rf[1]
+    assert per_rf[3] == per_rf[1]
+
+
+#: Operation stream applied to one record before its final delete:
+#: True = reshare with fresh content, False = query the keyword.
+OPS = st.lists(st.booleans(), min_size=0, max_size=4)
+
+
+@SLOW_NETWORK
+@given(ops=OPS)
+def test_deleted_record_never_resurrects(ops):
+    net = _network(rf=2, node_count=5)
+    owner = net.nodes[2]
+    rid = owner.share(["alpha"], b"version-0")
+    net.sim.run()
+    version = 0
+    for reshare in ops:
+        if reshare:
+            version += 1
+            rid = owner.reshare(rid, ["alpha"], f"version-{version}".encode())
+        else:
+            handle = net.base.issue_query("alpha")
+        net.sim.run()
+    deleted_payloads = {f"version-{v}".encode() for v in range(version + 1)}
+    owner.unshare(rid)
+    net.sim.run()
+    # No holder anywhere retains a copy, whatever the interleaving was.
+    assert sum(node.replication.replicas_held for node in net.nodes) == 0
+    handle = net.base.issue_query("alpha")
+    net.sim.run()
+    net.base.finish_query(handle)
+    assert handle.distinct_answer_count == 0
+    surviving = {
+        item.payload for answer in handle.answers for item in answer.items
+    }
+    assert surviving.isdisjoint(deleted_payloads)
