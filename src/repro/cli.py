@@ -18,7 +18,7 @@ from __future__ import annotations
 import argparse
 from typing import Callable, Sequence
 
-from repro.eval import ablations, churn, figures, replication, routing, topk
+from repro.eval import ablations, churn, figures, replication, routing, scaling, topk
 from repro.eval.experiment import (
     ExperimentRunner,
     FigureResult,
@@ -41,6 +41,7 @@ FIGURES: dict[str, Callable[[FigureParams], FigureResult]] = {
     "replication": replication.figure_replication,
     "routing": routing.figure_routing,
     "topk": topk.figure_topk,
+    "scaling": scaling.figure_scaling,
 }
 
 ABLATIONS: dict[str, Callable[[FigureParams], FigureResult]] = {
@@ -152,6 +153,12 @@ def _run_figure(args: argparse.Namespace) -> int:
         print()
         print("per-(k, ttl, rate) traffic/quality detail:")
         print(format_topk_trials(topk.figure_topk.last_trials))
+    elif args.name == "scaling":
+        from repro.eval.report import format_scaling_trials
+
+        print()
+        print("per-executor wall/critical-path detail:")
+        print(format_scaling_trials(scaling.figure_scaling.last_trials))
     elif args.name == "replication":
         from repro.eval.report import format_replication_trials
 

@@ -322,3 +322,39 @@ def format_topk_trials(trials: Sequence[dict]) -> str:
         ],
         rows,
     )
+
+
+def format_scaling_trials(trials: Sequence[dict]) -> str:
+    """Render scaling trial dicts (one per executor/size/shards point).
+
+    Shows the evidence behind each speedup number: wall and CPU (or
+    critical-path) seconds, barrier traffic, and the determinism check
+    against the serial reference run.
+    """
+    rows = []
+    for trial in trials:
+        if trial["executor"] == "serial":
+            detail = f"cpu={trial['cpu_seconds']}s"
+        elif trial["executor"] == "lockstep":
+            detail = f"overhead={trial['overhead_vs_serial']}x"
+        else:
+            detail = (
+                f"critical={trial['critical_path_seconds']}s "
+                f"proj={trial['projected_speedup']}x "
+                f"meas={trial['measured_speedup']}x"
+            )
+        rows.append(
+            [
+                trial["executor"],
+                trial["node_count"],
+                trial["shards"],
+                trial["wall_seconds"],
+                trial.get("barrier_messages", "-"),
+                "yes" if trial["identical"] else "NO",
+                detail,
+            ]
+        )
+    return format_table(
+        ["executor", "nodes", "shards", "wall s", "barrier", "identical", "detail"],
+        rows,
+    )

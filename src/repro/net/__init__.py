@@ -10,5 +10,24 @@ from repro.net.address import AddressPool, IPAddress
 from repro.net.link import LinkModel
 from repro.net.message import Packet
 from repro.net.network import Host, Network
+from repro.net.sharding import (
+    DistributedRunReport,
+    ShardCluster,
+    ShardedNetworkView,
+    ShardNetwork,
+    run_distributed,
+)
 
-__all__ = ["IPAddress", "AddressPool", "LinkModel", "Packet", "Host", "Network"]
+__all__ = [
+    "IPAddress",
+    "AddressPool",
+    "LinkModel",
+    "Packet",
+    "Host",
+    "Network",
+    "ShardCluster",
+    "ShardNetwork",
+    "ShardedNetworkView",
+    "DistributedRunReport",
+    "run_distributed",
+]

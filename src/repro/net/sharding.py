@@ -1,0 +1,598 @@
+"""The sharded network fabric: shard-local delivery, barrier handoff.
+
+A :class:`ShardCluster` owns one :class:`~repro.sim.sharded.ShardedSimulator`
+plus one :class:`ShardNetwork` per shard.  Each shard network is an
+ordinary :class:`~repro.net.network.Network` for its own hosts — same
+NIC/CPU modelling, same drop taxonomy, same counters — except that
+:meth:`ShardNetwork._schedule_delivery` consults the cluster directory
+and routes packets for hosts on *other* shards through the epoch
+barrier instead of its local heap.  The packet's ``raw`` bytes are the
+already-encoded wire frame, so the barrier ships exactly what the wire
+would have carried.
+
+Shared-by-design state (one address pool, one loss RNG, one wire-encoder
+cache, one directory) keeps the lockstep executor bit-identical to the
+serial kernel: leases, loss draws and cache hits happen in the same
+global order.  The distributed executor (:func:`run_distributed`) forks
+workers *after* build, so each worker inherits a copy-on-write snapshot
+of that state and runs only its own shard against it.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.errors import NetworkError, ShardingError
+from repro.net.address import AddressPool, IPAddress
+from repro.net.link import LinkModel
+from repro.net.message import Packet
+from repro.net.network import Host, Network
+from repro.sim.sharded import ShardedSimulator
+from repro.util.compression import DEFAULT_CODEC, Codec
+from repro.util.randomness import derive_rng
+from repro.util.serialization import WireEncoder
+from repro.util.tracing import NULL_TRACER, Tracer
+
+
+class ShardCluster:
+    """All shard fabrics plus the state they deliberately share."""
+
+    def __init__(
+        self,
+        shard_count: int,
+        pool: AddressPool | None = None,
+        default_link: LinkModel | None = None,
+        codec: Codec | None = None,
+        tracer: Tracer | None = None,
+        loss_seed: int = 0,
+        lookahead: float | None = None,
+    ):
+        self.sim = ShardedSimulator(shard_count, lookahead=lookahead)
+        self.pool = pool if pool is not None else AddressPool()
+        self.codec = codec if codec is not None else DEFAULT_CODEC
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.encoder = WireEncoder(self.codec, tracer=self.tracer)
+        self.loss_rng = derive_rng(loss_seed, "packet-loss")
+        #: address -> (shard index, host name), maintained at lease/release
+        self.directory: dict[IPAddress, tuple[int, str]] = {}
+        #: (shard, name) in creation order — the serial ``hosts`` ordering
+        self.host_order: list[tuple[int, str]] = []
+        self.networks = [
+            ShardNetwork(self, shard, default_link=default_link)
+            for shard in range(shard_count)
+        ]
+        for network in self.networks:
+            self.sim.register_lookahead(network.min_outbound_latency)
+        self.view = ShardedNetworkView(self)
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.networks)
+
+    def shard_of(self, name: str) -> int | None:
+        """Shard index of a host name (linear scan; build-time use only)."""
+        for shard, host_name in self.host_order:
+            if host_name == name:
+                return shard
+        return None
+
+
+class ShardNetwork(Network):
+    """One shard's fabric: serial semantics locally, barrier semantics out."""
+
+    def __init__(
+        self,
+        cluster: ShardCluster,
+        shard_id: int,
+        default_link: LinkModel | None = None,
+    ):
+        super().__init__(
+            cluster.sim.shards[shard_id],
+            pool=cluster.pool,
+            default_link=default_link,
+            codec=cluster.codec,
+            tracer=cluster.tracer,
+            encoder=cluster.encoder,
+        )
+        self.cluster = cluster
+        self.shard_id = shard_id
+        # One loss stream for the whole cluster, consumed in global event
+        # order under the lockstep executor — exactly the serial draws.
+        self._loss_rng = cluster.loss_rng
+
+    # -- host management -----------------------------------------------------
+
+    def create_host(
+        self,
+        name: str,
+        cpu_threads: int = 8,
+        dispatch_time: float | None = None,
+        connect: bool = True,
+    ) -> Host:
+        for network in self.cluster.networks:
+            if name in network.hosts:
+                raise NetworkError(f"duplicate host name {name!r}")
+        kwargs = {} if dispatch_time is None else {"dispatch_time": dispatch_time}
+        host = super().create_host(
+            name, cpu_threads=cpu_threads, connect=connect, **kwargs
+        )
+        self.cluster.host_order.append((self.shard_id, name))
+        return host
+
+    def _lease_address(self, host: Host) -> IPAddress:
+        address = super()._lease_address(host)
+        self.cluster.directory[address] = (self.shard_id, host.name)
+        return address
+
+    def _release_address(self, host: Host) -> None:
+        assert host.address is not None
+        self.cluster.directory.pop(host.address, None)
+        super()._release_address(host)
+
+    def host_at(self, address: IPAddress) -> Host | None:
+        entry = self.cluster.directory.get(address)
+        if entry is None:
+            return None
+        return self.cluster.networks[entry[0]]._routes.get(address)
+
+    # -- partitions ----------------------------------------------------------
+
+    def _crosses_partition(self, src: IPAddress, dst: IPAddress) -> bool:
+        # Same rule as the serial fabric, but names resolve through the
+        # cluster directory: the destination may live on another shard.
+        if not self._partition:
+            return False
+        directory = self.cluster.directory
+        src_entry = directory.get(src)
+        dst_entry = directory.get(dst)
+        if src_entry is None or dst_entry is None:
+            return False  # no-route handles it
+        src_group = self._partition.get(src_entry[1])
+        dst_group = self._partition.get(dst_entry[1])
+        if src_group is None or dst_group is None:
+            return False
+        return src_group != dst_group
+
+    # -- delivery ------------------------------------------------------------
+
+    def _schedule_delivery(self, packet: Packet, link: LinkModel) -> None:
+        entry = self.cluster.directory.get(packet.dst)
+        if entry is None or entry[0] == self.shard_id:
+            # Local host, or an address nobody holds: the local heap
+            # reaches the same no-route/stale/down verdict the serial
+            # kernel would (released addresses are never re-leased while
+            # a packet is in flight — pools are sized against reuse).
+            super()._schedule_delivery(packet, link)
+            return
+        dst_network = self.cluster.networks[entry[0]]
+        self.cluster.sim.post(
+            self.shard_id,
+            entry[0],
+            self.sim.now + link.latency,
+            dst_network._deliver,
+            packet,
+            packet=packet,
+        )
+
+    # -- lookahead -----------------------------------------------------------
+
+    def min_outbound_latency(self) -> float:
+        """Smallest latency a packet leaving this shard could ride.
+
+        The default link can always carry a cross-shard packet; per-pair
+        overrides only matter when the pair actually crosses the shard
+        boundary, so an intra-shard zero-latency override never poisons
+        the cluster lookahead.
+        """
+        bound = self.default_link.latency
+        if self._links:
+            directory = self.cluster.directory
+            for (src, dst), link in self._links.items():
+                if link.latency >= bound:
+                    continue
+                dst_entry = directory.get(dst)
+                if dst_entry is None or dst_entry[0] == self.shard_id:
+                    continue
+                src_entry = directory.get(src)
+                if src_entry is not None and src_entry[0] != self.shard_id:
+                    continue
+                bound = link.latency
+        return bound
+
+
+class ShardedNetworkView:
+    """The cluster presented as one :class:`Network`-shaped object.
+
+    Counters sum across shards, ``hosts`` preserves global creation
+    order, and fabric mutations (partitions, link overrides, the default
+    link) broadcast to every shard — each shard consults only its own
+    copy at send time, so a broadcast is exactly one serial mutation.
+    """
+
+    def __init__(self, cluster: ShardCluster):
+        self._cluster = cluster
+        self.sim = cluster.sim
+        self.pool = cluster.pool
+        self.codec = cluster.codec
+        self.tracer = cluster.tracer
+        self.encoder = cluster.encoder
+
+    # -- hosts ---------------------------------------------------------------
+
+    @property
+    def hosts(self) -> dict[str, Host]:
+        networks = self._cluster.networks
+        return {
+            name: networks[shard].hosts[name]
+            for shard, name in self._cluster.host_order
+        }
+
+    def host_at(self, address: IPAddress) -> Host | None:
+        entry = self._cluster.directory.get(address)
+        if entry is None:
+            return None
+        return self._cluster.networks[entry[0]]._routes.get(address)
+
+    # -- links ---------------------------------------------------------------
+
+    @property
+    def default_link(self) -> LinkModel:
+        return self._cluster.networks[0].default_link
+
+    @default_link.setter
+    def default_link(self, link: LinkModel) -> None:
+        for network in self._cluster.networks:
+            network.default_link = link
+
+    def link_for(self, src: IPAddress, dst: IPAddress) -> LinkModel:
+        return self._cluster.networks[0].link_for(src, dst)
+
+    def set_link(self, src: IPAddress, dst: IPAddress, link: LinkModel) -> None:
+        for network in self._cluster.networks:
+            network.set_link(src, dst, link)
+
+    def clear_link(self, src: IPAddress, dst: IPAddress) -> None:
+        for network in self._cluster.networks:
+            network.clear_link(src, dst)
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, groups: Sequence[Sequence[str]]) -> None:
+        assignment: dict[str, int] = {}
+        hosts = self.hosts
+        for index, group in enumerate(groups):
+            for name in group:
+                if name in assignment:
+                    raise NetworkError(f"host {name!r} named in two partition groups")
+                if name not in hosts:
+                    raise NetworkError(f"unknown host {name!r} in partition")
+                assignment[name] = index
+        for network in self._cluster.networks:
+            network._partition = dict(assignment)
+        self.tracer.record(
+            self.sim.now, "net", "partition", groups=len(groups), hosts=len(assignment)
+        )
+
+    def heal_partition(self) -> None:
+        if self.partitioned:
+            self.tracer.record(self.sim.now, "net", "heal-partition")
+        for network in self._cluster.networks:
+            network._partition = {}
+
+    @property
+    def partitioned(self) -> bool:
+        return any(network.partitioned for network in self._cluster.networks)
+
+    # -- counters ------------------------------------------------------------
+
+    @property
+    def packets_delivered(self) -> int:
+        return sum(n.packets_delivered for n in self._cluster.networks)
+
+    @property
+    def packets_dropped(self) -> int:
+        return sum(n.packets_dropped for n in self._cluster.networks)
+
+    @property
+    def bytes_carried(self) -> int:
+        return sum(n.bytes_carried for n in self._cluster.networks)
+
+    @property
+    def decode_errors(self) -> int:
+        return sum(n.decode_errors for n in self._cluster.networks)
+
+    @property
+    def drops_by_reason(self) -> dict[str, int]:
+        merged: dict[str, int] = {}
+        for network in self._cluster.networks:
+            for reason, count in network.drops_by_reason.items():
+                merged[reason] = merged.get(reason, 0) + count
+        return merged
+
+    @property
+    def encode_hits(self) -> int:
+        return self.encoder.hits
+
+    @property
+    def encode_misses(self) -> int:
+        return self.encoder.misses
+
+
+# ---------------------------------------------------------------------------
+# Distributed (multi-process) execution
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class DistributedRunReport:
+    """What a :func:`run_distributed` run measured and brought home.
+
+    The parent's deployment objects are fork-time snapshots — all
+    post-run state lives here: summed network counters, per-host wire
+    counters in creation order, and whatever each worker's ``extract``
+    callback returned.
+    """
+
+    final_now: float
+    windows: int
+    messages: int
+    wall_seconds: float
+    busy_per_shard: list[float]
+    critical_path_seconds: float
+    shard_counters: list[dict[str, Any]]
+    shard_hosts: list[dict[str, dict[str, int]]]
+    extracts: list[Any]
+    host_order: list[tuple[int, str]] = field(default_factory=list)
+
+    def merged_counters(self) -> dict[str, Any]:
+        merged: dict[str, Any] = {
+            "packets_delivered": 0,
+            "packets_dropped": 0,
+            "bytes_carried": 0,
+            "decode_errors": 0,
+            "drops_by_reason": {},
+        }
+        for counters in self.shard_counters:
+            for key in ("packets_delivered", "packets_dropped", "bytes_carried",
+                        "decode_errors"):
+                merged[key] += counters[key]
+            for reason, count in counters["drops_by_reason"].items():
+                merged["drops_by_reason"][reason] = (
+                    merged["drops_by_reason"].get(reason, 0) + count
+                )
+        return merged
+
+    def host_bytes(self) -> list[int]:
+        """Per-host ``bytes_sent`` in global creation order (the exact
+        shape the determinism contract compares against serial runs)."""
+        return [
+            self.shard_hosts[shard][name]["bytes_sent"]
+            for shard, name in self.host_order
+        ]
+
+
+def _worker_counters(network: Network) -> dict[str, Any]:
+    return {
+        "packets_delivered": network.packets_delivered,
+        "packets_dropped": network.packets_dropped,
+        "bytes_carried": network.bytes_carried,
+        "decode_errors": network.decode_errors,
+        "drops_by_reason": dict(network.drops_by_reason),
+    }
+
+
+def _worker_hosts(network: Network) -> dict[str, dict[str, int]]:
+    return {
+        name: {
+            "bytes_sent": host.bytes_sent,
+            "messages_sent": host.messages_sent,
+            "messages_received": host.messages_received,
+        }
+        for name, host in network.hosts.items()
+    }
+
+
+def _shard_worker(cluster: ShardCluster, shard_id: int, conn, extract) -> None:
+    """One forked worker: drains its shard window-by-window on command."""
+    sim = cluster.sim.shards[shard_id]
+    network = cluster.networks[shard_id]
+    try:
+        conn.send(
+            ("ready", sim.peek(), sim._regular_count, network.min_outbound_latency())
+        )
+        while True:
+            command = conn.recv()
+            if command[0] == "drain":
+                _, bound, inclusive, inbox = command
+                # Parent pre-sorts by (arrival, origin_shard, origin_seq);
+                # scheduling in that order assigns local tie-break
+                # sequences that reproduce the stamp order.
+                for arrival, _origin_shard, _origin_seq, packet in inbox:
+                    sim.schedule_at(arrival, network._deliver, packet)
+                # CPU seconds, not wall: workers time-slicing a loaded
+                # machine must not count descheduled time as busy.
+                started = _time.process_time()
+                sim.drain_window(bound, inclusive)
+                busy = _time.process_time() - started
+                last = sim.now
+                outgoing = []
+                for dst, outbox in enumerate(cluster.sim.outboxes):
+                    for message in outbox:
+                        if message.packet is None:
+                            raise ShardingError(
+                                "distributed mode can only ship packet-form "
+                                "cross-shard messages"
+                            )
+                        outgoing.append(
+                            (
+                                dst,
+                                message.arrival_time,
+                                message.origin_shard,
+                                message.origin_seq,
+                                message.packet,
+                            )
+                        )
+                    outbox.clear()
+                conn.send(
+                    (
+                        "report",
+                        sim.peek(),
+                        sim._regular_count,
+                        last,
+                        busy,
+                        network.min_outbound_latency(),
+                        outgoing,
+                    )
+                )
+            elif command[0] == "finish":
+                sim.now = command[1]
+                result = {
+                    "counters": _worker_counters(network),
+                    "hosts": _worker_hosts(network),
+                    "extract": extract(shard_id) if extract is not None else None,
+                }
+                conn.send(("result", result))
+                conn.close()
+                return
+            else:  # pragma: no cover - protocol misuse
+                raise ShardingError(f"unknown shard-worker command {command[0]!r}")
+    except Exception as exc:  # pragma: no cover - crash reporting path
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        raise
+
+
+def run_distributed(
+    cluster: ShardCluster,
+    until: float | None = None,
+    extract: Callable[[int], Any] | None = None,
+) -> DistributedRunReport:
+    """Run the cluster to completion with one worker process per shard.
+
+    Forks *after* build, so workers inherit the full deployment
+    copy-on-write and exchange only barrier packets with the parent
+    coordinator.  ``extract(shard_id)`` runs inside each worker after the
+    run and must return a picklable summary (answers, recalls, ...) —
+    the parent's own objects stay at their fork-time state.
+
+    Supports fault-free workloads only: fault injectors, packet-loss
+    windows and churn re-leases mutate state shared across shards, which
+    only the lockstep (inline) executor keeps coherent.  Equal-time
+    cross-shard ties break by ``(origin_shard, origin_seq)`` rather than
+    the serial kernel's global sequence; runs are deterministic, and the
+    scaling benchmark asserts they match the serial kernel bit-for-bit
+    on the flood workloads.
+    """
+    import multiprocessing
+
+    if "fork" not in multiprocessing.get_all_start_methods():
+        raise ShardingError("run_distributed requires the fork start method")
+    context = multiprocessing.get_context("fork")
+    shard_count = cluster.shard_count
+    started_wall = _time.perf_counter()
+    parents, workers = [], []
+    for shard in range(shard_count):
+        parent_conn, child_conn = context.Pipe()
+        process = context.Process(
+            target=_shard_worker,
+            args=(cluster, shard, child_conn, extract),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        parents.append(parent_conn)
+        workers.append(process)
+
+    def receive(shard: int):
+        message = parents[shard].recv()
+        if message[0] == "error":
+            for process in workers:
+                process.terminate()
+            raise ShardingError(f"shard {shard} worker failed: {message[1]}")
+        return message
+
+    peeks: list[float | None] = [None] * shard_count
+    regulars = [0] * shard_count
+    latencies = [0.0] * shard_count
+    for shard in range(shard_count):
+        _, peeks[shard], regulars[shard], latencies[shard] = receive(shard)
+
+    pending: list[list[tuple]] = [[] for _ in range(shard_count)]
+    busy_per_shard = [0.0] * shard_count
+    critical_path = 0.0
+    windows = 0
+    messages = 0
+    last_fired = 0.0
+    while True:
+        pending_total = sum(len(inbox) for inbox in pending)
+        heads = [t for t in peeks if t is not None]
+        heads.extend(entry[0] for inbox in pending for entry in inbox)
+        if until is None and sum(regulars) + pending_total == 0:
+            final = last_fired
+            break
+        if not heads:
+            final = last_fired
+            break
+        t0 = min(heads)
+        if until is not None and t0 > until:
+            final = until
+            break
+        lookahead = min(latencies) if shard_count > 1 else float("inf")
+        if not lookahead > 0.0:
+            for process in workers:
+                process.terminate()
+            raise ShardingError(
+                f"cross-shard lookahead must be positive, got {lookahead}"
+            )
+        bound, inclusive = t0 + lookahead, False
+        if until is not None and until < bound:
+            bound, inclusive = until, True
+        for shard in range(shard_count):
+            inbox = sorted(pending[shard], key=lambda entry: entry[:3])
+            pending[shard] = []
+            parents[shard].send(("drain", bound, inclusive, inbox))
+        window_busy = 0.0
+        for shard in range(shard_count):
+            _, peek, regular, last, busy, latency, outgoing = receive(shard)
+            peeks[shard] = peek
+            regulars[shard] = regular
+            latencies[shard] = latency
+            busy_per_shard[shard] += busy
+            window_busy = max(window_busy, busy)
+            if last > last_fired:
+                last_fired = last
+            for dst, arrival, origin_shard, origin_seq, packet in outgoing:
+                pending[dst].append((arrival, origin_shard, origin_seq, packet))
+                messages += 1
+        critical_path += window_busy
+        windows += 1
+
+    shard_counters, shard_hosts, extracts = [], [], []
+    for shard in range(shard_count):
+        parents[shard].send(("finish", final))
+        _, result = receive(shard)
+        shard_counters.append(result["counters"])
+        shard_hosts.append(result["hosts"])
+        extracts.append(result["extract"])
+    for process in workers:
+        process.join(timeout=30)
+        if process.is_alive():  # pragma: no cover - hang safety net
+            process.terminate()
+    for parent_conn in parents:
+        parent_conn.close()
+    return DistributedRunReport(
+        final_now=final,
+        windows=windows,
+        messages=messages,
+        wall_seconds=_time.perf_counter() - started_wall,
+        busy_per_shard=busy_per_shard,
+        critical_path_seconds=critical_path,
+        shard_counters=shard_counters,
+        shard_hosts=shard_hosts,
+        extracts=extracts,
+        host_order=list(cluster.host_order),
+    )

@@ -11,5 +11,16 @@ from repro.sim.events import Event
 from repro.sim.kernel import Simulator, Timer
 from repro.sim.process import Process
 from repro.sim.resources import FifoServer, Resource
+from repro.sim.sharded import ShardedSimulator, ShardMessage, SharedSequence
 
-__all__ = ["Simulator", "Timer", "Event", "Process", "Resource", "FifoServer"]
+__all__ = [
+    "Simulator",
+    "Timer",
+    "Event",
+    "Process",
+    "Resource",
+    "FifoServer",
+    "ShardedSimulator",
+    "ShardMessage",
+    "SharedSequence",
+]

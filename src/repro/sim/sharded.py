@@ -1,0 +1,319 @@
+"""Conservative parallel discrete-event execution over shard heaps.
+
+One logical simulation is split into ``shard_count`` shared-nothing
+:class:`~repro.sim.kernel.Simulator` instances.  Cross-shard interactions
+travel as :class:`ShardMessage` stamps ``(arrival_time, origin_shard,
+origin_seq)`` through per-destination outboxes, and are injected at a
+deterministic *epoch barrier*: the executor opens a window ``[t, t + L)``
+where ``L`` is the minimum cross-shard link latency (the classic
+conservative-PDES lookahead), fires every event inside the window, then
+exchanges outboxes.  Any message sent at ``s ∈ [t, t + L)`` arrives at
+``s + latency >= t + L`` — never inside the window that produced it —
+which is the whole safety argument.
+
+Two executors share that protocol:
+
+* :class:`ShardedSimulator` (this module) runs every shard in one
+  process, *lockstep*: within a window it always steps the shard whose
+  head event is globally smallest by ``(time, seq)``.  All shards draw
+  sequence numbers from one shared counter, so that order — and therefore
+  every tie-break, every shared-pool lease, every RNG draw — is exactly
+  the serial kernel's.  ``shards=1`` degenerates to the plain kernel.
+* :func:`repro.net.sharding.run_distributed` forks one worker process
+  per shard and drains whole windows concurrently, trading the lockstep
+  guarantee (equal-time cross-shard ties, shared-stream state) for real
+  parallelism.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.errors import SchedulingError, ShardingError
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator, Timer
+from repro.sim.process import Process
+
+
+class SharedSequence:
+    """A monotone counter shared by every shard's heap.
+
+    Because each schedule — local or cross-shard — consumes exactly one
+    number at exactly the point the serial kernel would have, the pair
+    ``(time, seq)`` totally orders the union of all shard heaps in the
+    serial kernel's firing order.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def next(self) -> int:
+        self.value += 1
+        return self.value
+
+
+@dataclass(slots=True)
+class ShardMessage:
+    """A cross-shard event waiting at the epoch barrier.
+
+    ``callback(*args)`` is what fires on the destination shard at
+    ``arrival_time``; ``origin_seq`` is the sequence number the serial
+    kernel would have given the same delivery, used as the heap
+    tie-break on injection.  ``packet`` is set for network deliveries —
+    the only form the distributed executor can ship over a pipe (the
+    packet's ``raw`` is already a wire-codec frame, so the inter-shard
+    transport *is* the wire format).
+    """
+
+    arrival_time: float
+    origin_shard: int
+    origin_seq: int
+    callback: Callable[..., None]
+    args: tuple
+    packet: Any = None
+
+    def stamp(self) -> tuple[float, int, int]:
+        return (self.arrival_time, self.origin_shard, self.origin_seq)
+
+
+@dataclass
+class BarrierStats:
+    """Counters the executors keep about the barrier protocol."""
+
+    windows: int = 0
+    messages: int = 0
+    injected: int = 0
+
+    def snapshot(self) -> dict[str, int]:
+        return {
+            "windows": self.windows,
+            "messages": self.messages,
+            "injected": self.injected,
+        }
+
+
+class ShardedSimulator:
+    """The single-process (lockstep) sharded executor.
+
+    Presents the :class:`Simulator` driving surface — ``schedule``,
+    ``schedule_at``, ``spawn``, ``timeout``, ``event``, ``run``, ``now``,
+    ``pending_events`` — over ``shard_count`` shard kernels.  Driver
+    callbacks scheduled through this facade land on shard 0, which is why
+    the partitioner pins the base node (and the LIGLO servers) there.
+    """
+
+    def __init__(self, shard_count: int, lookahead: float | None = None):
+        if shard_count < 1:
+            raise ShardingError(f"need >= 1 shard, got {shard_count}")
+        self.sequence = SharedSequence()
+        self.shards = [Simulator() for _ in range(shard_count)]
+        for sim in self.shards:
+            sim._seq_source = self.sequence.next
+        #: outboxes[d] holds messages bound for shard d, pending barrier
+        self.outboxes: list[list[ShardMessage]] = [[] for _ in range(shard_count)]
+        self.stats = BarrierStats()
+        self._running = False
+        #: fixed lookahead override (tests / harnesses without a fabric);
+        #: otherwise the registered sources (shard fabrics) are consulted
+        #: at every window, because fault windows can rescale latencies.
+        self._fixed_lookahead = lookahead
+        self._lookahead_sources: list[Callable[[], float]] = []
+
+    # -- Simulator facade ----------------------------------------------------
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    @property
+    def now(self) -> float:
+        return self.shards[0].now
+
+    @property
+    def pending_events(self) -> int:
+        return sum(sim.pending_events for sim in self.shards) + sum(
+            len(outbox) for outbox in self.outboxes
+        )
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Timer:
+        return self.shards[0].schedule(delay, callback, *args)
+
+    def schedule_daemon(
+        self, delay: float, callback: Callable[..., None], *args: Any
+    ) -> Timer:
+        return self.shards[0].schedule_daemon(delay, callback, *args)
+
+    def schedule_at(self, time: float, callback: Callable[..., None], *args: Any) -> Timer:
+        return self.shards[0].schedule_at(time, callback, *args)
+
+    def event(self) -> Event:
+        return self.shards[0].event()
+
+    def timeout(self, delay: float, value: Any = None) -> Event:
+        return self.shards[0].timeout(delay, value)
+
+    def spawn(self, generator) -> Process:
+        return self.shards[0].spawn(generator)
+
+    def peek(self) -> float | None:
+        head = self._head()
+        times = [head[0]] if head is not None else []
+        times.extend(
+            message.arrival_time for outbox in self.outboxes for message in outbox
+        )
+        return min(times) if times else None
+
+    # -- cross-shard posting -------------------------------------------------
+
+    def register_lookahead(self, source: Callable[[], float]) -> None:
+        """Register a per-shard minimum-cross-link-latency provider."""
+        self._lookahead_sources.append(source)
+
+    def lookahead(self) -> float:
+        """The conservative window width: no cross-shard message can
+        arrive sooner than this after its send."""
+        if len(self.shards) == 1:
+            return math.inf  # nothing can cross; one window spans the run
+        if self._fixed_lookahead is not None:
+            bound = self._fixed_lookahead
+        elif self._lookahead_sources:
+            bound = min(source() for source in self._lookahead_sources)
+        else:
+            raise ShardingError(
+                "sharded executor has no lookahead: register a fabric or "
+                "pass an explicit bound"
+            )
+        if not bound > 0.0:
+            raise ShardingError(
+                f"cross-shard lookahead must be positive, got {bound}: a "
+                "zero-latency cross-shard link defeats conservative "
+                "synchronization"
+            )
+        return bound
+
+    def post(
+        self,
+        origin_shard: int,
+        dst_shard: int,
+        arrival_time: float,
+        callback: Callable[..., None],
+        *args: Any,
+        packet: Any = None,
+    ) -> None:
+        """Queue a cross-shard event at the barrier.
+
+        Consumes one sequence number — the same one the serial kernel's
+        ``schedule`` would have burned for this delivery — so injection
+        reproduces the serial tie-break exactly.
+
+        While a lockstep run is live the message is injected straight
+        into the destination heap: no shard clock ever passes the global
+        minimum, so any in-flight arrival is still in every shard's
+        future even when a fault window shrank the link latency below
+        the lookahead that opened the current window.  (The distributed
+        executor has no such escape hatch, which is one reason it
+        refuses fault-injected workloads.)  Outside a run the message
+        waits in the outbox and is flushed when ``run`` starts.
+        """
+        seq = self.sequence.next()
+        self.stats.messages += 1
+        if self._running:
+            self.shards[dst_shard].inject(arrival_time, seq, callback, *args)
+            self.stats.injected += 1
+            return
+        message = ShardMessage(arrival_time, origin_shard, seq, callback, args, packet)
+        self.outboxes[dst_shard].append(message)
+
+    def _flush_outboxes(self) -> None:
+        for dst, outbox in enumerate(self.outboxes):
+            if not outbox:
+                continue
+            sim = self.shards[dst]
+            for message in outbox:
+                sim.inject(
+                    message.arrival_time,
+                    message.origin_seq,
+                    message.callback,
+                    *message.args,
+                )
+                self.stats.injected += 1
+            outbox.clear()
+
+    # -- execution -----------------------------------------------------------
+
+    def _head(self) -> tuple[float, int, int] | None:
+        """Globally smallest pending ``(time, seq, shard)`` across heaps."""
+        best: tuple[float, int] | None = None
+        best_shard = -1
+        for index, sim in enumerate(self.shards):
+            entry = sim.peek_entry()
+            if entry is not None and (best is None or entry < best):
+                best = entry
+                best_shard = index
+        if best is None:
+            return None
+        return (best[0], best[1], best_shard)
+
+    def _regular_total(self) -> int:
+        """Live regular work: heap timers plus barrier-pending messages
+        (the serial kernel counts an in-flight delivery as a regular
+        timer from the moment it is scheduled)."""
+        return sum(sim._regular_count for sim in self.shards) + sum(
+            len(outbox) for outbox in self.outboxes
+        )
+
+    def run(self, until: float | None = None) -> float:
+        """Serial-kernel ``run`` semantics over all shards.
+
+        No ``until``: stops when only daemon timers (and no barrier
+        messages) remain, clocks left at the last fired event.  With
+        ``until``: fires everything with ``time <= until`` and aligns all
+        clocks to ``until`` (when later work remains pending).
+        """
+        if self._running:
+            raise SchedulingError("simulator is already running (no recursion)")
+        self._running = True
+        last_fired = self.shards[0].now
+        try:
+            while True:
+                self._flush_outboxes()
+                head = self._head()
+                if head is None:
+                    break
+                if until is None and self._regular_total() == 0:
+                    break
+                if until is not None and head[0] > until:
+                    last_fired = until  # serial: clock jumps to the horizon
+                    break
+                window_end = head[0] + self.lookahead()
+                self.stats.windows += 1
+                while True:
+                    head = self._head()
+                    if head is None or head[0] >= window_end:
+                        break
+                    if until is not None and head[0] > until:
+                        break
+                    if until is None and self._regular_total() == 0:
+                        break
+                    # Broadcast the global clock BEFORE firing: the callback
+                    # may reach straight into another shard's objects (fault
+                    # injection, driver code), and any relative `schedule`
+                    # there must be anchored at *global* now — one clock,
+                    # exactly the serial kernel.  Safe because the head is
+                    # the global minimum: no pending event is earlier.
+                    fired_at = head[0]
+                    for other in self.shards:
+                        if other.now < fired_at:
+                            other.now = fired_at
+                    self.shards[head[2]].step()
+                    if fired_at > last_fired:
+                        last_fired = fired_at
+        finally:
+            self._running = False
+        for sim in self.shards:
+            sim.now = last_fired
+        return last_fired

@@ -9,5 +9,16 @@ from repro.topology.builders import (
     star,
     tree,
 )
+from repro.topology.partition import PARTITION_MODES, assign_shards
 
-__all__ = ["Topology", "star", "line", "tree", "ring", "random_graph", "grid"]
+__all__ = [
+    "Topology",
+    "star",
+    "line",
+    "tree",
+    "ring",
+    "random_graph",
+    "grid",
+    "assign_shards",
+    "PARTITION_MODES",
+]

@@ -1,0 +1,99 @@
+"""Topology-aware node-to-shard assignment for the sharded kernel.
+
+Two modes:
+
+* ``hash`` (the default) — a stable content hash of the node name, so
+  the assignment needs no topology and never shifts when the overlay
+  does.  Balanced in expectation, oblivious to locality.
+* ``locality`` — a DFS preorder walk from the topology's base, chunked
+  into contiguous ranges: a tree branch (or a star's contiguous arc of
+  leaves) lands on one shard, so intra-cluster chatter stays off the
+  epoch barrier.
+
+Node 0 (the designated query initiator) is always pinned to shard 0,
+alongside the LIGLO servers: driver callbacks scheduled through the
+sharded facade land on shard 0's timeline, and co-residency keeps that
+exactly equivalent to the serial kernel's single timeline.
+"""
+
+from __future__ import annotations
+
+import zlib
+
+from repro.errors import TopologyError
+from repro.topology.builders import Topology
+
+PARTITION_MODES = ("hash", "locality")
+
+
+def _stable_hash(name: str) -> int:
+    # crc32 rather than hash(): immune to PYTHONHASHSEED, identical
+    # across processes — the assignment is part of the determinism story.
+    return zlib.crc32(name.encode("utf-8"))
+
+
+def _dfs_preorder(topology: Topology) -> list[int]:
+    """Deterministic DFS from the base (ascending neighbors), with any
+    disconnected remainder appended in index order."""
+    order: list[int] = []
+    seen: set[int] = set()
+    stack = [topology.base]
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        order.append(node)
+        # Reversed so the smallest neighbor is explored first.
+        for neighbor in reversed(topology.neighbors(node)):
+            if neighbor not in seen:
+                stack.append(neighbor)
+    for node in range(topology.node_count):
+        if node not in seen:
+            order.append(node)
+    return order
+
+
+def assign_shards(
+    node_count: int,
+    shard_count: int,
+    topology: Topology | None = None,
+    mode: str = "hash",
+) -> list[int]:
+    """Shard index for every node index ``0..node_count-1``.
+
+    ``locality`` requires a ``topology`` (and falls back to ``hash``
+    without one); both modes pin node 0 to shard 0.
+    """
+    if shard_count < 1:
+        raise TopologyError(f"need >= 1 shard, got {shard_count}")
+    if node_count < 1:
+        raise TopologyError(f"need >= 1 node, got {node_count}")
+    if mode not in PARTITION_MODES:
+        raise TopologyError(
+            f"unknown shard-partition mode {mode!r} (expected one of "
+            f"{PARTITION_MODES})"
+        )
+    if topology is not None and topology.node_count != node_count:
+        raise TopologyError(
+            f"topology has {topology.node_count} nodes, expected {node_count}"
+        )
+    if shard_count == 1:
+        return [0] * node_count
+    if mode == "locality" and topology is not None:
+        order = _dfs_preorder(topology)
+        assignment = [0] * node_count
+        # Contiguous chunks of the walk, near-equal sizes; the chunk
+        # containing the base (walk position 0) is shard 0 by construction.
+        base_size, remainder = divmod(node_count, shard_count)
+        position = 0
+        for shard in range(shard_count):
+            size = base_size + (1 if shard < remainder else 0)
+            for node in order[position : position + size]:
+                assignment[node] = shard
+            position += size
+        assignment[0] = 0  # pin the initiator even off-walk (disconnected base)
+        return assignment
+    assignment = [_stable_hash(f"node-{index}") % shard_count for index in range(node_count)]
+    assignment[0] = 0
+    return assignment

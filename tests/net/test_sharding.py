@@ -1,0 +1,214 @@
+"""The sharded network fabric: directory, barrier routing, distribution."""
+
+import pickle
+
+import pytest
+
+from repro.core.builder import build_network
+from repro.core.config import BestPeerConfig
+from repro.errors import BestPeerError, NetworkError
+from repro.net import LinkModel, ShardCluster, run_distributed
+from repro.net.message import Packet, _UNDECODED
+from repro.topology import line, star
+from repro.util.compression import IdentityCodec
+
+
+def _cluster(shards=2, **kwargs):
+    kwargs.setdefault("codec", IdentityCodec())
+    return ShardCluster(shards, **kwargs)
+
+
+class TestClusterFabric:
+    def test_cross_shard_send_delivers_through_barrier(self):
+        cluster = _cluster()
+        a = cluster.networks[0].create_host("a")
+        b = cluster.networks[1].create_host("b")
+        received = []
+        b.bind("t", lambda packet: received.append(packet.payload))
+        a.send(b.address, "t", b"hello-across")
+        cluster.sim.run()
+        assert received == [b"hello-across"]
+        assert cluster.sim.stats.messages == 1
+
+    def test_local_send_stays_off_the_barrier(self):
+        cluster = _cluster()
+        a = cluster.networks[0].create_host("a")
+        b = cluster.networks[0].create_host("b")
+        received = []
+        b.bind("t", lambda packet: received.append(packet.payload))
+        a.send(b.address, "t", b"local")
+        cluster.sim.run()
+        assert received == [b"local"]
+        assert cluster.sim.stats.messages == 0
+
+    def test_duplicate_host_name_rejected_across_shards(self):
+        cluster = _cluster()
+        cluster.networks[0].create_host("a")
+        with pytest.raises(NetworkError):
+            cluster.networks[1].create_host("a")
+
+    def test_view_hosts_preserve_creation_order(self):
+        cluster = _cluster()
+        cluster.networks[1].create_host("first")
+        cluster.networks[0].create_host("second")
+        cluster.networks[1].create_host("third")
+        assert list(cluster.view.hosts) == ["first", "second", "third"]
+
+    def test_view_host_at_resolves_any_shard(self):
+        cluster = _cluster()
+        a = cluster.networks[0].create_host("a")
+        b = cluster.networks[1].create_host("b")
+        assert cluster.view.host_at(a.address) is a
+        assert cluster.view.host_at(b.address) is b
+        assert cluster.networks[0].host_at(b.address) is b
+
+    def test_cross_shard_partition_drops(self):
+        cluster = _cluster()
+        a = cluster.networks[0].create_host("a")
+        b = cluster.networks[1].create_host("b")
+        b.bind("t", lambda packet: None)
+        cluster.view.partition([["a"], ["b"]])
+        a.send(b.address, "t", b"blocked")
+        cluster.sim.run()
+        assert cluster.view.packets_dropped == 1
+        assert cluster.view.drops_by_reason.get("partition") == 1
+        cluster.view.heal_partition()
+        a.send(b.address, "t", b"flows")
+        cluster.sim.run()
+        assert cluster.view.packets_delivered == 1
+
+    def test_min_outbound_latency_ignores_intra_shard_overrides(self):
+        cluster = _cluster(default_link=LinkModel(latency=0.01))
+        a = cluster.networks[0].create_host("a")
+        b = cluster.networks[0].create_host("b")
+        c = cluster.networks[1].create_host("c")
+        network = cluster.networks[0]
+        # Intra-shard fast link: must not shrink the cluster lookahead.
+        network.set_link(a.address, b.address, LinkModel(latency=0.0001))
+        assert network.min_outbound_latency() == 0.01
+        # Cross-shard fast link: must shrink it.
+        network.set_link(a.address, c.address, LinkModel(latency=0.002))
+        assert network.min_outbound_latency() == 0.002
+
+
+class TestBuilderWiring:
+    def test_shards_env_off_values(self, monkeypatch):
+        from repro.core.builder import _resolve_shards
+
+        for value in ("", "off", "none", "0"):
+            monkeypatch.setenv("REPRO_SHARDS", value)
+            assert _resolve_shards(None) is None
+        monkeypatch.setenv("REPRO_SHARDS", "3")
+        assert _resolve_shards(None) == 3
+        assert _resolve_shards(2) == 2  # explicit argument wins
+
+    def test_shards_env_garbage_rejected(self, monkeypatch):
+        from repro.core.builder import _resolve_shards
+
+        monkeypatch.setenv("REPRO_SHARDS", "many")
+        with pytest.raises(BestPeerError):
+            _resolve_shards(None)
+        monkeypatch.setenv("REPRO_SHARDS", "-1")
+        with pytest.raises(BestPeerError):
+            _resolve_shards(None)
+
+    def test_explicit_sim_with_shards_rejected(self):
+        from repro.sim import Simulator
+
+        with pytest.raises(BestPeerError):
+            build_network(2, sim=Simulator(), shards=2)
+
+    def test_explicit_sim_ignores_env_shards(self, monkeypatch):
+        from repro.sim import Simulator
+
+        monkeypatch.setenv("REPRO_SHARDS", "2")
+        deployment = build_network(2, sim=Simulator(), topology=line(2))
+        assert deployment.cluster is None
+        assert deployment.shard_count == 1
+
+    def test_sharded_build_pins_base_and_liglo_to_shard_zero(self):
+        deployment = build_network(6, topology=star(6), shards=3)
+        cluster = deployment.cluster
+        assert cluster is not None
+        assert deployment.shard_count == 3
+        order = dict((name, shard) for shard, name in cluster.host_order)
+        assert order["liglo-0"] == 0
+        assert order["node-0"] == 0
+
+    def test_sharded_deployment_runs_queries(self):
+        deployment = build_network(
+            6,
+            config=BestPeerConfig(max_direct_peers=6, strategy="static"),
+            topology=star(6),
+            shards=2,
+        )
+        deployment.nodes[3].share(["needle"], b"payload")
+        handle = deployment.base.issue_query("needle")
+        deployment.sim.run()
+        assert len(handle.answers) == 1
+
+
+class TestPacketPickling:
+    def test_decode_cache_does_not_travel(self):
+        from repro.net.address import IPAddress
+
+        packet = Packet(
+            IPAddress("10.0.0.1"),
+            IPAddress("10.0.0.2"),
+            "t",
+            16,
+            0.0,
+            pickle.dumps("payload"),
+            "pickle",
+        )
+        assert packet.payload == "payload"  # decode, populating the cache
+        clone = pickle.loads(pickle.dumps(packet))
+        assert clone._decoded is _UNDECODED
+        assert clone.payload == "payload"
+
+
+class TestDistributed:
+    def _flood(self, shards=None):
+        deployment = build_network(
+            12,
+            config=BestPeerConfig(max_direct_peers=12, strategy="static"),
+            topology=star(12),
+            shards=shards,
+        )
+        deployment.nodes[3].share(["needle"], b"payload-a")
+        deployment.nodes[11].share(["needle"], b"payload-b")
+        deployment.base.issue_query("needle")
+        return deployment
+
+    def test_flood_matches_serial_observables(self):
+        serial = self._flood()
+        serial.sim.run()
+        reference = (
+            [host.bytes_sent for host in serial.network.hosts.values()],
+            serial.network.bytes_carried,
+            serial.network.packets_delivered,
+            serial.network.packets_dropped,
+        )
+        deployment = self._flood(shards=2)
+        report = run_distributed(deployment.cluster)
+        merged = report.merged_counters()
+        assert report.host_bytes() == reference[0]
+        assert merged["bytes_carried"] == reference[1]
+        assert merged["packets_delivered"] == reference[2]
+        assert merged["packets_dropped"] == reference[3]
+        assert report.windows >= 1
+        assert report.messages >= 1
+        assert len(report.busy_per_shard) == 2
+
+    def test_extract_runs_inside_workers(self):
+        deployment = self._flood(shards=2)
+        report = run_distributed(
+            deployment.cluster,
+            extract=lambda shard: {"shard": shard},
+        )
+        assert report.extracts == [{"shard": 0}, {"shard": 1}]
+
+    def test_until_bounds_the_run(self):
+        deployment = self._flood(shards=2)
+        report = run_distributed(deployment.cluster, until=0.001)
+        assert report.final_now == 0.001

@@ -150,3 +150,141 @@ class TestEvents:
         sim.run()
         assert seen == ["done"]
         assert sim.now == 2.5
+
+
+class TestCompaction:
+    def test_sweep_keeps_pending_exact_and_heap_bounded(self):
+        sim = Simulator()
+        live = []
+        for index in range(1000):
+            timer = sim.schedule(1.0 + index, lambda: None)
+            if index % 5 == 0:
+                live.append(timer)
+            else:
+                timer.cancel()
+        assert sim.pending_events == len(live)
+        # The sweep keeps dead entries to at most the live count (plus
+        # the small-heap threshold under which sweeps never trigger).
+        assert len(sim._heap) <= 2 * len(live) + sim.COMPACTION_MIN_HEAP
+
+    def test_small_heaps_never_swept(self):
+        sim = Simulator()
+        timers = [sim.schedule(1.0 + i, lambda: None) for i in range(10)]
+        for timer in timers[1:]:
+            timer.cancel()
+        # Below COMPACTION_MIN_HEAP the dead entries just sit there.
+        assert len(sim._heap) == 10
+        assert sim.pending_events == 1
+
+    def test_sweep_preserves_firing_order(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for index in range(500):
+            timer = sim.schedule(1.0 + index, fired.append, index)
+            if index % 7 == 0:
+                keep.append(index)
+            else:
+                timer.cancel()
+        sim.run()
+        assert fired == keep
+
+    def test_cancel_after_sweep_is_harmless(self):
+        sim = Simulator()
+        timers = [sim.schedule(1.0 + i, lambda: None) for i in range(200)]
+        for timer in timers[:150]:
+            timer.cancel()
+        # These were already swept off the heap; cancelling again must
+        # not corrupt the live count.
+        for timer in timers[:150]:
+            timer.cancel()
+        assert sim.pending_events == 50
+        sim.run()
+        assert sim.pending_events == 0
+
+
+class TestScheduleAtPast:
+    def test_past_time_raises_with_both_clocks(self):
+        from repro.errors import SchedulingError
+
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        assert sim.now == 5.0
+        with pytest.raises(SchedulingError) as exc:
+            sim.schedule_at(3.0, lambda: None)
+        message = str(exc.value)
+        assert "t=3.0" in message
+        assert "5.0" in message  # names `now`, not just the delta
+
+    def test_exactly_now_is_allowed(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        fired = []
+        sim.schedule_at(5.0, fired.append, "ok")
+        sim.run()
+        assert fired == ["ok"]
+
+
+class TestShardedHooks:
+    def test_peek_entry_returns_time_and_sequence(self):
+        sim = Simulator()
+        sim.schedule(2.0, lambda: None)
+        sim.schedule(1.0, lambda: None)
+        time, seq = sim.peek_entry()
+        assert time == 1.0
+        assert seq == 2  # second schedule burned the second sequence
+
+    def test_peek_entry_skips_cancelled(self):
+        sim = Simulator()
+        first = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        first.cancel()
+        assert sim.peek_entry()[0] == 2.0
+
+    def test_inject_orders_by_explicit_sequence(self):
+        sim = Simulator()
+        fired = []
+        sim.inject(1.0, 5, fired.append, "late-seq")
+        sim.inject(1.0, 2, fired.append, "early-seq")
+        sim.run()
+        assert fired == ["early-seq", "late-seq"]
+
+    def test_inject_in_past_raises(self):
+        from repro.errors import SchedulingError
+
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(SchedulingError):
+            sim.inject(1.0, 1, lambda: None)
+
+    def test_drain_window_exclusive_bound(self):
+        sim = Simulator()
+        fired = []
+        for time in (1.0, 2.0, 3.0):
+            sim.schedule(time, fired.append, time)
+        count, last = sim.drain_window(3.0)
+        assert (count, last) == (2, 2.0)
+        assert fired == [1.0, 2.0]
+        assert sim.pending_events == 1
+
+    def test_drain_window_inclusive_bound(self):
+        sim = Simulator()
+        fired = []
+        for time in (1.0, 2.0, 3.0):
+            sim.schedule(time, fired.append, time)
+        count, last = sim.drain_window(3.0, inclusive=True)
+        assert (count, last) == (3, 3.0)
+
+    def test_drain_window_fires_daemons_inside_window(self):
+        # Unlike run(), a window drain executes daemon timers without a
+        # regular-count stop rule: the distributed coordinator owns
+        # liveness globally.
+        sim = Simulator()
+        fired = []
+        sim.schedule_daemon(1.0, fired.append, "daemon")
+        count, _ = sim.drain_window(2.0)
+        assert count == 1
+        assert fired == ["daemon"]

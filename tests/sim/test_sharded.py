@@ -1,0 +1,240 @@
+"""The epoch-barrier merge must replay the serial kernel exactly.
+
+The battery drives the same randomly generated event program — seed
+events that spawn children, possibly on other virtual nodes — through
+the serial kernel and through the lockstep sharded executor at 1, 2 and
+4 shards, and asserts the *firing order* (not just the outcome) is
+identical.  Cross-shard children go through :meth:`ShardedSimulator.post`
+with the ``(time, origin_shard, origin_seq)`` stamp; everything else is
+plain ``schedule`` on the owning shard, in the same call order the
+serial run used, so the shared sequence counter assigns the serial tie
+breaks.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import SchedulingError, ShardingError
+from repro.sim import ShardedSimulator, Simulator
+
+LOOKAHEAD = 0.5
+
+#: A program is a list of seed events: (start_time, node, children),
+#: children are (delay, node, grandchildren) — delays at or above the
+#: lookahead whenever the hop may cross shards.
+_grandchild = st.tuples(
+    st.floats(min_value=LOOKAHEAD, max_value=3.0),
+    st.integers(min_value=0, max_value=7),
+)
+_child = st.tuples(
+    st.floats(min_value=LOOKAHEAD, max_value=3.0),
+    st.integers(min_value=0, max_value=7),
+    st.lists(_grandchild, max_size=2),
+)
+_seed_event = st.tuples(
+    st.floats(min_value=0.1, max_value=5.0),
+    st.integers(min_value=0, max_value=7),
+    st.lists(_child, max_size=3),
+)
+programs = st.lists(_seed_event, min_size=1, max_size=6)
+
+
+def _run_serial(program):
+    sim = Simulator()
+    log = []
+
+    def fire(node, label, children):
+        log.append((sim.now, label))
+        for index, (delay, child_node, *rest) in enumerate(children):
+            grand = rest[0] if rest else []
+            sim.schedule(
+                delay, fire, child_node, f"{label}.{index}", grand
+            )
+
+    for index, (start, node, children) in enumerate(program):
+        sim.schedule_at(start, fire, node, f"e{index}", children)
+    final = sim.run()
+    return log, final
+
+
+def _run_sharded(program, shard_count):
+    sharded = ShardedSimulator(shard_count, lookahead=LOOKAHEAD)
+    log = []
+
+    def shard_of(node):
+        return node % shard_count
+
+    def fire(node, label, children):
+        sim = sharded.shards[shard_of(node)]
+        log.append((sim.now, label))
+        for index, (delay, child_node, *rest) in enumerate(children):
+            grand = rest[0] if rest else []
+            child_label = f"{label}.{index}"
+            if shard_of(child_node) == shard_of(node):
+                sim.schedule(delay, fire, child_node, child_label, grand)
+            else:
+                sharded.post(
+                    shard_of(node),
+                    shard_of(child_node),
+                    sim.now + delay,
+                    fire,
+                    child_node,
+                    child_label,
+                    grand,
+                )
+
+    for index, (start, node, children) in enumerate(program):
+        sharded.shards[shard_of(node)].schedule_at(
+            start, fire, node, f"e{index}", children
+        )
+    final = sharded.run()
+    return log, final
+
+
+@settings(max_examples=60, deadline=None)
+@given(programs)
+def test_firing_order_matches_serial_at_any_shard_count(program):
+    serial_log, serial_final = _run_serial(program)
+    for shard_count in (1, 2, 4):
+        sharded_log, sharded_final = _run_sharded(program, shard_count)
+        assert sharded_log == serial_log
+        assert sharded_final == serial_final
+
+
+@settings(max_examples=30, deadline=None)
+@given(programs, st.floats(min_value=1.0, max_value=8.0))
+def test_run_until_matches_serial(program, until):
+    sim_log = []
+    serial = Simulator()
+
+    def serial_fire(label):
+        sim_log.append((serial.now, label))
+
+    sharded = ShardedSimulator(2, lookahead=LOOKAHEAD)
+    sharded_log = []
+
+    def sharded_fire(shard, label):
+        sharded_log.append((sharded.shards[shard].now, label))
+
+    for index, (start, node, _children) in enumerate(program):
+        serial.schedule_at(start, serial_fire, f"e{index}")
+        sharded.shards[node % 2].schedule_at(
+            start, sharded_fire, node % 2, f"e{index}"
+        )
+    assert sharded.run(until=until) == serial.run(until=until)
+    assert sharded_log == sim_log
+    assert sharded.now == serial.now
+
+
+class TestBarrierProtocol:
+    def test_pre_run_posts_wait_in_outboxes_then_flush(self):
+        sharded = ShardedSimulator(2, lookahead=1.0)
+        fired = []
+        sharded.post(0, 1, 2.0, fired.append, "crossed")
+        assert sharded.pending_events == 1
+        assert len(sharded.outboxes[1]) == 1
+        sharded.run()
+        assert fired == ["crossed"]
+        assert all(not outbox for outbox in sharded.outboxes)
+
+    def test_outbox_message_counts_as_regular_work(self):
+        # A run must not stop while a barrier message is the only work
+        # left: the serial kernel would count the in-flight delivery.
+        sharded = ShardedSimulator(2, lookahead=1.0)
+        fired = []
+        sharded.post(0, 1, 5.0, fired.append, "late")
+        assert sharded.run() == 5.0
+        assert fired == ["late"]
+
+    def test_mid_run_post_injects_with_serial_tiebreak(self):
+        sharded = ShardedSimulator(2, lookahead=1.0)
+        log = []
+
+        def crosser():
+            # Consumes the next shared sequence number; the local event
+            # scheduled immediately after gets a later one, so at the
+            # same timestamp the cross-shard message fires first.
+            sharded.post(0, 1, sharded.shards[0].now + 1.0, log.append, "cross")
+            sharded.shards[0].schedule(1.0, log.append, "local")
+
+        sharded.shards[0].schedule(1.0, crosser)
+        sharded.run()
+        assert log == ["cross", "local"]
+
+    def test_equal_time_messages_fire_in_post_order(self):
+        sharded = ShardedSimulator(2, lookahead=1.0)
+        log = []
+        sharded.post(0, 1, 2.0, log.append, "first")
+        sharded.post(1, 0, 2.0, log.append, "second")
+        sharded.run()
+        assert log == ["first", "second"]
+
+    def test_stats_count_windows_and_messages(self):
+        sharded = ShardedSimulator(2, lookahead=1.0)
+        sharded.post(0, 1, 2.0, lambda: None)
+        sharded.run()
+        stats = sharded.stats.snapshot()
+        assert stats["messages"] == 1
+        assert stats["injected"] == 1
+        assert stats["windows"] >= 1
+
+
+class TestLookahead:
+    def test_single_shard_needs_no_lookahead(self):
+        sharded = ShardedSimulator(1)
+        assert sharded.lookahead() == math.inf
+
+    def test_no_source_raises(self):
+        sharded = ShardedSimulator(2)
+        with pytest.raises(ShardingError):
+            sharded.lookahead()
+
+    def test_zero_lookahead_rejected(self):
+        sharded = ShardedSimulator(2, lookahead=0.0)
+        with pytest.raises(ShardingError):
+            sharded.lookahead()
+
+    def test_minimum_over_registered_sources(self):
+        sharded = ShardedSimulator(2)
+        sharded.register_lookahead(lambda: 0.4)
+        sharded.register_lookahead(lambda: 0.2)
+        assert sharded.lookahead() == 0.2
+
+
+class TestFacade:
+    def test_driver_surface_lands_on_shard_zero(self):
+        sharded = ShardedSimulator(3, lookahead=1.0)
+        sharded.schedule(1.0, lambda: None)
+        sharded.schedule_at(2.0, lambda: None)
+        assert sharded.shards[0].pending_events == 2
+        assert sharded.shards[1].pending_events == 0
+
+    def test_clocks_align_after_run(self):
+        sharded = ShardedSimulator(3, lookahead=1.0)
+        sharded.shards[2].schedule(4.0, lambda: None)
+        assert sharded.run() == 4.0
+        assert [sim.now for sim in sharded.shards] == [4.0, 4.0, 4.0]
+
+    def test_recursive_run_rejected(self):
+        sharded = ShardedSimulator(2, lookahead=1.0)
+
+        def recurse():
+            sharded.run()
+
+        sharded.schedule(1.0, recurse)
+        with pytest.raises(SchedulingError):
+            sharded.run()
+
+    def test_daemon_only_work_does_not_block_exit(self):
+        sharded = ShardedSimulator(2, lookahead=1.0)
+        fired = []
+        sharded.schedule_daemon(1.0, fired.append, "daemon")
+        sharded.run()
+        assert fired == []
+
+    def test_shard_count_validation(self):
+        with pytest.raises(ShardingError):
+            ShardedSimulator(0)

@@ -1,0 +1,122 @@
+"""Node-to-shard assignment: stability, balance, locality, pinning."""
+
+import pytest
+
+from repro.errors import TopologyError
+from repro.topology import assign_shards, line, star, tree
+from repro.topology.partition import PARTITION_MODES, _dfs_preorder
+
+
+class TestHashMode:
+    def test_deterministic_across_calls(self):
+        first = assign_shards(64, 4)
+        second = assign_shards(64, 4)
+        assert first == second
+
+    def test_node_zero_pinned_to_shard_zero(self):
+        for shards in (2, 3, 4, 7):
+            assert assign_shards(50, shards)[0] == 0
+
+    def test_roughly_balanced(self):
+        assignment = assign_shards(400, 4)
+        counts = [assignment.count(shard) for shard in range(4)]
+        # Content hashing is balanced in expectation; no shard should be
+        # starved or hoarding at this size.
+        assert min(counts) > 400 // 4 // 2
+        assert max(counts) < 400 // 4 * 2
+
+    def test_assignment_independent_of_total_when_hashing(self):
+        # node i's shard depends only on its name, not the network size.
+        small = assign_shards(50, 4)
+        large = assign_shards(100, 4)
+        assert small[1:] == large[1:50]
+
+
+class TestLocalityMode:
+    def test_line_chunks_are_contiguous(self):
+        assignment = assign_shards(12, 3, line(12), mode="locality")
+        assert assignment == [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]
+
+    def test_tree_keeps_subtrees_together(self):
+        topology = tree(13, branching=3)  # root + 3 branches of 4
+        assignment = assign_shards(13, 3, topology, mode="locality")
+        # A DFS walk visits each branch completely before the next, so
+        # each non-root branch must span at most two shards (one cut).
+        for branch_root in topology.neighbors(0):
+            branch = [branch_root] + [
+                node
+                for node in range(1, 13)
+                if node != branch_root
+                and branch_root in _path_to_base(topology, node)
+            ]
+            shards = {assignment[node] for node in branch}
+            assert len(shards) <= 2
+
+    def test_star_leaves_split_into_arcs(self):
+        assignment = assign_shards(9, 2, star(9), mode="locality")
+        assert assignment[0] == 0
+        # Leaves 1..8 form two contiguous arcs of the DFS order.
+        leaf_shards = assignment[1:]
+        flips = sum(
+            1 for a, b in zip(leaf_shards, leaf_shards[1:]) if a != b
+        )
+        assert flips == 1
+
+    def test_sizes_near_equal(self):
+        assignment = assign_shards(14, 4, line(14), mode="locality")
+        counts = [assignment.count(shard) for shard in range(4)]
+        assert max(counts) - min(counts) <= 1
+
+    def test_falls_back_to_hash_without_topology(self):
+        assert assign_shards(20, 2, None, mode="locality") == assign_shards(20, 2)
+
+
+def _path_to_base(topology, node):
+    """Set of ancestors of ``node`` on the BFS tree from the base."""
+    hops = topology.hops_from_base()
+    path = set()
+    current = node
+    while hops[current] > 0:
+        for neighbor in topology.neighbors(current):
+            if hops[neighbor] == hops[current] - 1:
+                path.add(neighbor)
+                current = neighbor
+                break
+    return path
+
+
+class TestValidation:
+    def test_single_shard_short_circuits(self):
+        assert assign_shards(5, 1) == [0] * 5
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(TopologyError):
+            assign_shards(5, 0)
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(TopologyError):
+            assign_shards(0, 2)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(TopologyError) as exc:
+            assign_shards(5, 2, mode="round-robin")
+        assert "round-robin" in str(exc.value)
+        assert all(mode in str(exc.value) for mode in PARTITION_MODES)
+
+    def test_topology_size_mismatch_rejected(self):
+        with pytest.raises(TopologyError):
+            assign_shards(5, 2, line(6), mode="locality")
+
+
+class TestDfsPreorder:
+    def test_line_walk_is_index_order(self):
+        assert _dfs_preorder(line(5)) == [0, 1, 2, 3, 4]
+
+    def test_walk_covers_every_node_once(self):
+        topology = tree(13, branching=3)
+        order = _dfs_preorder(topology)
+        assert sorted(order) == list(range(13))
+
+    def test_smallest_neighbor_explored_first(self):
+        order = _dfs_preorder(star(5))
+        assert order == [0, 1, 2, 3, 4]
